@@ -1,0 +1,876 @@
+(* One runner per table/figure of the paper's evaluation (Section 8 +
+   appendix).  Each prints rows in the paper's shape; EXPERIMENTS.md
+   records paper-vs-measured.  Cells run in forked children under a
+   wall-clock timeout (Harness.run_cell): a TIMEOUT entry corresponds
+   to the paper's bars touching the top of the chart. *)
+
+module G = Dsd_graph.Graph
+module P = Dsd_pattern.Pattern
+module D = Dsd_core.Density
+module H = Harness
+
+let hs = [ 2; 3; 4; 5; 6 ]
+
+let clique_name h =
+  match h with
+  | 2 -> "edge"
+  | 3 -> "triangle"
+  | h -> string_of_int h ^ "-clique"
+
+let dataset g_name = Dsd_data.Datasets.graph g_name
+
+let time_of f = Printf.sprintf "%f" (snd (H.timed f))
+
+(* Reference optima used by ratio experiments, computed in a child so a
+   pathological dataset yields a skipped section instead of a hung
+   harness. *)
+let guarded_float ?timeout f =
+  match H.run_cell ?timeout (fun () -> Printf.sprintf "%f" (f ())) with
+  | H.Ok s -> (try Some (float_of_string (String.trim s)) with _ -> None)
+  | _ -> None
+
+(* ---- Table 2 / Figure 18: dataset characteristics ---- *)
+
+let tab2 () =
+  H.section "Table 2 / Fig. 18 — dataset characteristics (triangle cores)";
+  let names =
+    Dsd_data.Datasets.(
+      names_of_group Small @ names_of_group Large @ names_of_group Random
+      @ names_of_group Extra @ names_of_group Case_study)
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let g = dataset name in
+        let basic =
+          Printf.sprintf "%d %d" (G.n g) (G.m g)
+        in
+        let cell =
+          H.run_cell ~timeout:(2. *. !H.default_timeout) (fun () ->
+              let _, cc = Dsd_graph.Traversal.components g in
+              let dia = Dsd_graph.Traversal.pseudo_diameter g in
+              let alpha = Dsd_util.Stats.power_law_alpha (G.degrees g) in
+              let d =
+                Dsd_core.Clique_core.decompose ~track_density:false g P.triangle
+              in
+              let core = Dsd_core.Clique_core.kmax_core d in
+              Printf.sprintf "%d %d %.3f %d %d" cc dia alpha
+                d.Dsd_core.Clique_core.kmax (Array.length core))
+        in
+        let stats =
+          match cell with
+          | H.Ok s -> String.split_on_char ' ' (String.trim s)
+          | other -> [ H.show_payload other; "-"; "-"; "-"; "-" ]
+        in
+        name :: (String.split_on_char ' ' basic @ stats))
+      names
+  in
+  H.table
+    ~header:[ "dataset"; "n"; "m"; "#CC"; "diam~"; "alpha"; "kmax"; "core size" ]
+    ~rows
+
+(* ---- Figure 8(a)-(e): exact CDS algorithms on small datasets ---- *)
+
+let exact_cell g psi = H.run_cell (fun () -> time_of (fun () -> ignore (Dsd_core.Exact.run g psi)))
+let core_exact_cell g psi =
+  H.run_cell (fun () -> time_of (fun () -> ignore (Dsd_core.Core_exact.run g psi)))
+
+let fig8_exact () =
+  H.section "Figure 8(a)-(e) — exact algorithms (Exact vs CoreExact), h-cliques";
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]  n=%d m=%d\n" name (G.n g) (G.m g);
+      let rows =
+        List.map
+          (fun h ->
+            let psi = P.clique h in
+            [ clique_name h;
+              H.show_time (exact_cell g psi);
+              H.show_time (core_exact_cell g psi) ])
+          hs
+      in
+      H.table ~header:[ "h-clique"; "Exact"; "CoreExact" ] ~rows)
+    (Dsd_data.Datasets.names_of_group Dsd_data.Datasets.Small)
+
+(* ---- Figure 8(f)-(j): approximation algorithms on large datasets ---- *)
+
+let approx_cells g psi =
+  [ H.run_cell (fun () -> time_of (fun () -> ignore (Dsd_core.Nucleus.run g psi)));
+    H.run_cell (fun () -> time_of (fun () -> ignore (Dsd_core.Peel_app.run g psi)));
+    H.run_cell (fun () -> time_of (fun () -> ignore (Dsd_core.Inc_app.run g psi)));
+    H.run_cell (fun () -> time_of (fun () -> ignore (Dsd_core.Core_app.run g psi))) ]
+
+let fig8_approx_on group =
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]  n=%d m=%d\n" name (G.n g) (G.m g);
+      let rows =
+        List.map
+          (fun h ->
+            clique_name h :: List.map H.show_time (approx_cells g (P.clique h)))
+          hs
+      in
+      H.table ~header:[ "h-clique"; "Nucleus"; "PeelApp"; "IncApp"; "CoreApp" ] ~rows)
+    (Dsd_data.Datasets.names_of_group group)
+
+let fig8_approx () =
+  H.section "Figure 8(f)-(j) — approximation algorithms, h-cliques";
+  fig8_approx_on Dsd_data.Datasets.Large
+
+(* ---- Figure 9: flow-network sizes across CoreExact iterations ---- *)
+
+let fig9 () =
+  H.section "Figure 9 — flow network size per CoreExact iteration";
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]  (iteration -1 = Exact's whole-graph network)\n" name;
+      let rows =
+        List.filter_map
+          (fun h ->
+            let psi = P.clique h in
+            let cell =
+              H.run_cell ~timeout:(3. *. !H.default_timeout) (fun () ->
+                  (* Whole-graph network size: n + |Lambda| + 2 as in
+                     Algorithm 1 (for h = 2 it is n + 2). *)
+                  let whole =
+                    if h = 2 then G.n g + 2
+                    else G.n g + Dsd_clique.Kclist.count g ~h:(h - 1) + 2
+                  in
+                  let r = Dsd_core.Core_exact.run g psi in
+                  let sizes = r.Dsd_core.Core_exact.stats.network_nodes in
+                  String.concat " "
+                    (List.map string_of_int (whole :: sizes)))
+            in
+            match cell with
+            | H.Ok s ->
+              let sizes = String.split_on_char ' ' (String.trim s) in
+              let take7 = List.filteri (fun i _ -> i < 8) sizes in
+              Some (clique_name h :: take7
+                    @ List.init (max 0 (8 - List.length take7)) (fun _ -> "-"))
+            | other -> Some [ clique_name h; H.show_payload other ]
+          )
+          hs
+      in
+      let pad r = r @ List.init (max 0 (9 - List.length r)) (fun _ -> "-") in
+      H.table
+        ~header:[ "h-clique"; "it=-1"; "0"; "1"; "2"; "3"; "4"; "5"; "6" ]
+        ~rows:(List.map pad rows))
+    [ "ca_hepth"; "as_caida" ]
+
+(* ---- Figure 10: pruning-criterion ablation ---- *)
+
+let fig10 () =
+  H.section "Figure 10 — effect of pruning criteria in CoreExact";
+  let variants =
+    Dsd_core.Core_exact.
+      [ ("P1", { p1 = true; p2 = false; p3 = false });
+        ("P2", { p1 = false; p2 = true; p3 = false });
+        ("P3", { p1 = false; p2 = false; p3 = true });
+        ("none", no_prunings);
+        ("all", all_prunings) ]
+  in
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]\n" name;
+      let rows =
+        List.map
+          (fun h ->
+            let psi = P.clique h in
+            clique_name h
+            :: List.map
+                 (fun (_, prunings) ->
+                   H.show_time
+                     (H.run_cell (fun () ->
+                          time_of (fun () ->
+                              ignore (Dsd_core.Core_exact.run ~prunings g psi)))))
+                 variants)
+          hs
+      in
+      H.table ~header:("h-clique" :: List.map fst variants) ~rows)
+    [ "as733"; "ca_hepth" ]
+
+(* ---- Table 3: % of CoreExact time in core decomposition ---- *)
+
+let tab3 () =
+  H.section "Table 3 — %% of CoreExact time spent in core decomposition";
+  let rows =
+    List.concat_map
+      (fun name ->
+        let g = dataset name in
+        [ name
+          :: List.map
+               (fun h ->
+                 let cell =
+                   H.run_cell (fun () ->
+                       let r = Dsd_core.Core_exact.run g (P.clique h) in
+                       let s = r.Dsd_core.Core_exact.stats in
+                       Printf.sprintf "%.2f%%"
+                         (100. *. s.Dsd_core.Core_exact.decompose_s
+                          /. max 1e-9 s.Dsd_core.Core_exact.elapsed_s))
+                 in
+                 H.show_payload cell)
+               hs ])
+      [ "as733"; "ca_hepth" ]
+  in
+  H.table
+    ~header:("dataset" :: List.map clique_name hs)
+    ~rows
+
+(* ---- Table 4: EMcore vs CoreApp (edge, kmax-core) ---- *)
+
+let tab4 () =
+  H.section "Table 4 — EMcore vs CoreApp for the classical kmax-core (seconds)";
+  let names = Dsd_data.Datasets.names_of_group Dsd_data.Datasets.Large in
+  let rows =
+    List.map
+      (fun algo_name ->
+        algo_name
+        :: List.map
+             (fun name ->
+               let g = dataset name in
+               let cell =
+                 H.run_cell (fun () ->
+                     time_of (fun () ->
+                         match algo_name with
+                         | "EMcore" -> ignore (Dsd_core.Emcore.run g)
+                         | _ -> ignore (Dsd_core.Core_app.run g P.edge)))
+               in
+               H.show_time cell)
+             names)
+      [ "EMcore"; "CoreApp" ]
+  in
+  H.table ~header:("algo." :: names) ~rows
+
+(* ---- Figure 11: approximation ratios ---- *)
+
+let fig11 () =
+  H.section "Figure 11 — theoretical (1/h) vs actual approximation ratios";
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]\n" name;
+      let rows =
+        List.map
+          (fun h ->
+            let psi = P.clique h in
+            let cell =
+              H.run_cell ~timeout:(6. *. !H.default_timeout) (fun () ->
+                  let opt =
+                    (Dsd_core.Core_exact.run g psi).Dsd_core.Core_exact.subgraph
+                  in
+                  let peel = (Dsd_core.Peel_app.run g psi).Dsd_core.Peel_app.subgraph in
+                  let capp = (Dsd_core.Core_app.run g psi).Dsd_core.Core_app.subgraph in
+                  if opt.D.density <= 0. then "n/a n/a"
+                  else
+                    Printf.sprintf "%.4f %.4f"
+                      (peel.D.density /. opt.D.density)
+                      (capp.D.density /. opt.D.density))
+            in
+            let actuals =
+              match cell with
+              | H.Ok s -> String.split_on_char ' ' (String.trim s)
+              | other -> [ H.show_payload other; "-" ]
+            in
+            [ clique_name h; Printf.sprintf "%.3f" (1. /. float_of_int h) ]
+            @ actuals)
+          hs
+      in
+      H.table ~header:[ "h-clique"; "T=1/h"; "R(PeelApp)"; "R(CoreApp)" ] ~rows)
+    [ "netscience"; "as_caida" ]
+
+(* ---- Figure 12: CoreExact vs CoreApp ---- *)
+
+let fig12 () =
+  H.section "Figure 12 — exact (CoreExact) vs approximation (CoreApp)";
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]\n" name;
+      let rows =
+        List.map
+          (fun h ->
+            let psi = P.clique h in
+            [ clique_name h;
+              H.show_time (core_exact_cell g psi);
+              H.show_time
+                (H.run_cell (fun () ->
+                     time_of (fun () -> ignore (Dsd_core.Core_app.run g psi)))) ])
+          hs
+      in
+      H.table ~header:[ "h-clique"; "CoreExact"; "CoreApp" ] ~rows)
+    [ "ca_hepth"; "as_caida" ]
+
+(* ---- Figures 13/14: random graphs ---- *)
+
+let fig13 () =
+  H.section "Figure 13 — exact algorithms on random graphs (SSCA/ER/R-MAT)";
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]  n=%d m=%d\n" name (G.n g) (G.m g);
+      let rows =
+        List.map
+          (fun h ->
+            let psi = P.clique h in
+            [ clique_name h;
+              H.show_time (exact_cell g psi);
+              H.show_time (core_exact_cell g psi) ])
+          hs
+      in
+      H.table ~header:[ "h-clique"; "Exact"; "CoreExact" ] ~rows)
+    (Dsd_data.Datasets.names_of_group Dsd_data.Datasets.Random)
+
+let fig14 () =
+  H.section "Figure 14 — approximation algorithms on random graphs";
+  fig8_approx_on Dsd_data.Datasets.Random
+
+(* ---- Table 5: densities of CDS's and PDS's vs the EDS ---- *)
+
+let tab5 () =
+  H.section "Table 5 — rho_opt per pattern vs the pattern-density of the EDS";
+  let patterns =
+    [ P.edge; P.triangle; P.clique 4; P.clique 5; P.clique 6; P.star 2; P.diamond ]
+  in
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]\n" name;
+      (* The EDS once; then per pattern: rho_opt and rho(EDS, psi). *)
+      let eds = (Dsd_core.Core_exact.run g P.edge).Dsd_core.Core_exact.subgraph in
+      let rows =
+        List.map
+          (fun psi ->
+            let cell =
+              H.run_cell ~timeout:(3. *. !H.default_timeout) (fun () ->
+                  let opt =
+                    if psi.P.kind = P.Clique then
+                      (Dsd_core.Core_exact.run g psi).Dsd_core.Core_exact.subgraph
+                    else
+                      (Dsd_core.Core_pexact.run g psi).Dsd_core.Core_exact.subgraph
+                  in
+                  let on_eds =
+                    (Dsd_core.Density.of_vertices g psi eds.D.vertices).D.density
+                  in
+                  Printf.sprintf "%.3f %.3f" opt.D.density on_eds)
+            in
+            match cell with
+            | H.Ok s ->
+              (match String.split_on_char ' ' (String.trim s) with
+               | [ a; b ] -> [ psi.P.name; a; b ]
+               | _ -> [ psi.P.name; String.trim s; "-" ])
+            | other -> [ psi.P.name; H.show_payload other; "-" ])
+          patterns
+      in
+      H.table ~header:[ "pattern"; "rho_opt"; "rho(EDS,Psi)" ] ~rows)
+    [ "sdblp"; "yeast"; "netscience"; "as733" ]
+
+(* ---- Figure 15: exact PDS algorithms ---- *)
+
+let fig15 () =
+  H.section "Figure 15 — exact PDS algorithms (PExact vs CorePExact), Fig. 7 patterns";
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]\n" name;
+      let rows =
+        List.map
+          (fun psi ->
+            [ psi.P.name;
+              H.show_time
+                (H.run_cell (fun () ->
+                     time_of (fun () -> ignore (Dsd_core.Pexact.run g psi))));
+              H.show_time
+                (H.run_cell (fun () ->
+                     time_of (fun () -> ignore (Dsd_core.Core_pexact.run g psi)))) ])
+          P.figure7
+      in
+      H.table ~header:[ "pattern"; "PExact"; "CorePExact" ] ~rows)
+    [ "as733"; "ca_hepth" ]
+
+(* ---- Figure 16: approximation PDS algorithms ---- *)
+
+let fig16 () =
+  H.section "Figure 16 — approximation PDS algorithms, Fig. 7 patterns";
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]  n=%d m=%d\n" name (G.n g) (G.m g);
+      let rows =
+        List.map
+          (fun psi ->
+            [ psi.P.name;
+              H.show_time
+                (H.run_cell (fun () ->
+                     time_of (fun () -> ignore (Dsd_core.Peel_app.run g psi))));
+              H.show_time
+                (H.run_cell (fun () ->
+                     time_of (fun () -> ignore (Dsd_core.Inc_app.run g psi))));
+              H.show_time
+                (H.run_cell (fun () ->
+                     time_of (fun () -> ignore (Dsd_core.Core_app.run g psi)))) ])
+          P.figure7
+      in
+      H.table ~header:[ "pattern"; "PeelApp"; "IncApp"; "CoreApp" ] ~rows)
+    [ "ca_hepth"; "as_caida" ]
+
+(* ---- Figure 17: DBLP case study ---- *)
+
+let fig17 () =
+  H.section "Figure 17 — case study: S-DBLP PDS for triangle vs 2-star";
+  let g = dataset "sdblp" in
+  let describe label psi =
+    let sg =
+      if psi.P.kind = P.Clique then
+        (Dsd_core.Core_exact.run g psi).Dsd_core.Core_exact.subgraph
+      else (Dsd_core.Core_pexact.run g psi).Dsd_core.Core_exact.subgraph
+    in
+    let sub, _ = G.induced g sg.D.vertices in
+    Printf.printf
+      "%-8s PDS: density %.2f, %d authors, %d internal edges (%.0f%% of all pairs), max degree %d\n"
+      label sg.D.density (Array.length sg.D.vertices) (G.m sub)
+      (100. *. float_of_int (G.m sub)
+       /. float_of_int (max 1 (G.n sub * (G.n sub - 1) / 2)))
+      (G.max_degree sub)
+  in
+  describe "triangle" P.triangle;
+  describe "2-star" (P.star 2)
+
+(* ---- Figure 20 (appendix): extra datasets ---- *)
+
+let fig20 () =
+  H.section "Figure 20 — approximation CDS algorithms on extra datasets";
+  fig8_approx_on Dsd_data.Datasets.Extra
+
+(* ---- Figure 21 (appendix): yeast PDS per motif ---- *)
+
+let fig21 () =
+  H.section "Figure 21 — yeast PDS per motif (functional classes)";
+  let g = dataset "yeast" in
+  let rows =
+    List.map
+      (fun (label, psi) ->
+        let cell =
+          H.run_cell ~timeout:(3. *. !H.default_timeout) (fun () ->
+              let sg =
+                if psi.P.kind = P.Clique then
+                  (Dsd_core.Core_exact.run g psi).Dsd_core.Core_exact.subgraph
+                else (Dsd_core.Core_pexact.run g psi).Dsd_core.Core_exact.subgraph
+              in
+              Printf.sprintf "%.3f %d" sg.D.density (Array.length sg.D.vertices))
+        in
+        match cell with
+        | H.Ok s ->
+          (match String.split_on_char ' ' (String.trim s) with
+           | [ d; size ] -> [ label; d; size ]
+           | _ -> [ label; String.trim s; "-" ])
+        | other -> [ label; H.show_payload other; "-" ])
+      [ ("edge", P.edge); ("c3-star", P.c3_star);
+        ("2-triangle", P.two_triangle); ("4-clique", P.clique 4) ]
+  in
+  H.table ~header:[ "motif"; "PDS density"; "PDS size" ] ~rows
+
+(* ---- Section 6.3: query-vertex CDS variant ---- *)
+
+let sec63 () =
+  H.section "Section 6.3 — query-vertex CDS: core-located vs naive binary search";
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]  (query = one random vertex of the kmax-core)\n" name;
+      let rows =
+        List.map
+          (fun h ->
+            let psi = P.clique h in
+            let cell which =
+              H.run_cell (fun () ->
+                  let decomp =
+                    Dsd_core.Clique_core.decompose ~track_density:false g psi
+                  in
+                  let core = Dsd_core.Clique_core.kmax_core decomp in
+                  if Array.length core = 0 then "n/a"
+                  else begin
+                    let query = [| core.(0) |] in
+                    time_of (fun () ->
+                        ignore
+                          (match which with
+                           | `Core -> Dsd_core.Query_dsd.run g psi ~query
+                           | `Naive -> Dsd_core.Query_dsd.run_naive g psi ~query))
+                  end)
+            in
+            [ clique_name h; H.show_time (cell `Naive); H.show_time (cell `Core) ])
+          [ 2; 3; 4 ]
+      in
+      H.table ~header:[ "h-clique"; "naive [65]"; "core-located" ] ~rows)
+    [ "as733"; "ca_hepth" ]
+
+(* ---- ablation: construct+ grouping in CorePExact ---- *)
+
+let abl_grouping () =
+  H.section "Ablation — construct+ instance grouping in the exact PDS networks";
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]  (time and largest network built)\n" name;
+      let rows =
+        List.map
+          (fun psi ->
+            let cell grouped =
+              H.run_cell (fun () ->
+                  let r, t =
+                    H.timed (fun () -> Dsd_core.Core_exact.run ~grouped
+                                ~family:(if grouped then Dsd_core.Flow_build.Pds_grouped
+                                         else Dsd_core.Flow_build.Pds)
+                                g psi)
+                  in
+                  let nodes =
+                    List.fold_left max 0 r.Dsd_core.Core_exact.stats.network_nodes
+                  in
+                  Printf.sprintf "%.3fs/%d nodes" t nodes)
+            in
+            [ psi.P.name; H.show_payload (cell false); H.show_payload (cell true) ])
+          [ P.star 2; P.c3_star; P.diamond; P.two_triangle ]
+      in
+      H.table ~header:[ "pattern"; "ungrouped (PExact net)"; "grouped (construct+)" ] ~rows)
+    [ "as733" ]
+
+(* ---- ablation: CoreApp initial window ---- *)
+
+let abl_window () =
+  H.section "Ablation — CoreApp initial window size";
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]\n" name;
+      let rows =
+        List.map
+          (fun w ->
+            let cell =
+              H.run_cell (fun () ->
+                  let r, t =
+                    H.timed (fun () ->
+                        Dsd_core.Core_app.run ~initial_window:w g P.triangle)
+                  in
+                  Printf.sprintf "%.3fs (%d rounds, final |W|=%d)" t
+                    r.Dsd_core.Core_app.rounds r.Dsd_core.Core_app.final_window)
+            in
+            [ string_of_int w; H.show_payload cell ])
+          [ 4; 16; 64; 256; 4096 ]
+      in
+      H.table ~header:[ "initial |W|"; "triangle CoreApp" ] ~rows)
+    [ "as_caida"; "dblp_s" ]
+
+(* ---- extensions: Greedy++, streaming, parallel counting, truss ---- *)
+
+let ext_greedy () =
+  H.section "Extension — Greedy++ rounds vs density (PeelApp = 1 round)";
+  List.iter
+    (fun (name, psi) ->
+      let g = dataset name in
+      Printf.printf "\n[%s, %s]  exact rho_opt from CoreExact\n" name psi.P.name;
+      match
+        guarded_float (fun () ->
+            (Dsd_core.Core_exact.run g psi).Dsd_core.Core_exact.subgraph.D.density)
+      with
+      | None -> print_endline "  (exact reference timed out; section skipped)"
+      | Some opt ->
+      let rows =
+        List.map
+          (fun rounds ->
+            let cell =
+              H.run_cell (fun () ->
+                  let r, t =
+                    H.timed (fun () -> Dsd_core.Greedy_pp.run ~rounds g psi)
+                  in
+                  Printf.sprintf "%.4f %.3f"
+                    (r.Dsd_core.Greedy_pp.subgraph.D.density /. max 1e-9 opt)
+                    t)
+            in
+            match cell with
+            | H.Ok s ->
+              (match String.split_on_char ' ' (String.trim s) with
+               | [ ratio; t ] -> [ string_of_int rounds; ratio; t ^ "s" ]
+               | _ -> [ string_of_int rounds; String.trim s; "-" ])
+            | other -> [ string_of_int rounds; H.show_payload other; "-" ])
+          [ 1; 2; 4; 8; 16 ]
+      in
+      H.table ~header:[ "rounds"; "density/rho_opt"; "time" ] ~rows)
+    [ ("ca_hepth", P.edge); ("as_caida", P.triangle) ]
+
+let ext_streaming () =
+  H.section "Extension — Bahmani streaming approximation: eps sweep";
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]  (edge density; exact rho_opt from CoreExact)\n" name;
+      match
+        guarded_float (fun () ->
+            (Dsd_core.Core_exact.run g P.edge).Dsd_core.Core_exact.subgraph.D.density)
+      with
+      | None -> print_endline "  (exact reference timed out; section skipped)"
+      | Some opt ->
+      let rows =
+        List.map
+          (fun eps ->
+            let cell =
+              H.run_cell (fun () ->
+                  let r, t =
+                    H.timed (fun () -> Dsd_core.Streaming.run ~eps g P.edge)
+                  in
+                  Printf.sprintf "%.4f %d %.3f"
+                    (r.Dsd_core.Streaming.subgraph.D.density /. max 1e-9 opt)
+                    r.Dsd_core.Streaming.passes t)
+            in
+            match cell with
+            | H.Ok s ->
+              (match String.split_on_char ' ' (String.trim s) with
+               | [ ratio; passes; t ] ->
+                 [ Printf.sprintf "%.2f" eps; ratio; passes; t ^ "s" ]
+               | _ -> [ Printf.sprintf "%.2f" eps; String.trim s; "-"; "-" ])
+            | other -> [ Printf.sprintf "%.2f" eps; H.show_payload other; "-"; "-" ])
+          [ 0.01; 0.1; 0.5; 1.0 ]
+      in
+      H.table ~header:[ "eps"; "density/rho_opt"; "passes"; "time" ] ~rows)
+    [ "ca_hepth"; "as_caida" ]
+
+let ext_parallel () =
+  H.section "Extension — multicore clique counting (Section 6.3 parallelisability)";
+  let g = dataset "dblp_s" in
+  Printf.printf "\n[dblp_s]  4-clique counting, %d cores recommended\n"
+    (Dsd_clique.Parallel.recommended_domains ());
+  let rows =
+    List.map
+      (fun domains ->
+        let cell =
+          H.run_cell ~timeout:(3. *. !H.default_timeout) (fun () ->
+              time_of (fun () ->
+                  ignore (Dsd_clique.Parallel.count g ~h:4 ~domains)))
+        in
+        [ string_of_int domains; H.show_time cell ])
+      [ 1; 2; 4; 8 ]
+  in
+  H.table ~header:[ "domains"; "time" ] ~rows
+
+let ext_truss () =
+  H.section "Extension — k-truss vs densest subgraph (related-work models)";
+  let rows =
+    List.map
+      (fun name ->
+        let g = dataset name in
+        let cell =
+          H.run_cell ~timeout:(3. *. !H.default_timeout) (fun () ->
+              let t = Dsd_core.Truss.decompose g in
+              let truss_sg = Dsd_core.Truss.max_truss_subgraph g t in
+              let eds =
+                (Dsd_core.Core_exact.run g P.edge).Dsd_core.Core_exact.subgraph
+              in
+              Printf.sprintf "%d %d %.3f %d %.3f"
+                (Dsd_core.Truss.kmax t)
+                (Array.length truss_sg.D.vertices)
+                truss_sg.D.density
+                (Array.length eds.D.vertices)
+                eds.D.density)
+        in
+        match cell with
+        | H.Ok s -> name :: String.split_on_char ' ' (String.trim s)
+        | other -> [ name; H.show_payload other; "-"; "-"; "-"; "-" ])
+      [ "yeast"; "netscience"; "as733"; "ca_hepth" ]
+  in
+  H.table
+    ~header:[ "dataset"; "truss kmax"; "|truss|"; "truss density"; "|EDS|"; "rho_opt" ]
+    ~rows
+
+(* ---- future work: sampled approximation, size constraints ---- *)
+
+let ext_sampled () =
+  H.section
+    "Future work — [49]-style sampling with core restriction (triangle density)";
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]  exact rho_opt from CoreExact\n" name;
+      match
+        guarded_float (fun () ->
+            (Dsd_core.Core_exact.run g P.triangle).Dsd_core.Core_exact.subgraph.D.density)
+      with
+      | None -> print_endline "  (exact reference timed out; section skipped)"
+      | Some opt ->
+      let rows =
+        List.concat_map
+          (fun p ->
+            List.map
+              (fun core_first ->
+                let cell =
+                  H.run_cell (fun () ->
+                      let r, t =
+                        H.timed (fun () ->
+                            Dsd_core.Sampled_app.run ~core_first ~seed:42 ~p g
+                              P.triangle)
+                      in
+                      Printf.sprintf "%.4f %d/%d %.3f"
+                        (r.Dsd_core.Sampled_app.subgraph.D.density /. max 1e-9 opt)
+                        r.Dsd_core.Sampled_app.sampled_instances
+                        r.Dsd_core.Sampled_app.total_instances t)
+                in
+                let tail =
+                  match cell with
+                  | H.Ok s ->
+                    (match String.split_on_char ' ' (String.trim s) with
+                     | [ ratio; insts; t ] -> [ ratio; insts; t ^ "s" ]
+                     | _ -> [ String.trim s; "-"; "-" ])
+                  | other -> [ H.show_payload other; "-"; "-" ]
+                in
+                [ Printf.sprintf "%.2f" p;
+                  (if core_first then "core" else "full") ]
+                @ tail)
+              [ false; true ])
+          [ 1.0; 0.3; 0.1 ]
+      in
+      H.table
+        ~header:[ "p"; "region"; "density/rho_opt"; "sampled/total"; "time" ]
+        ~rows)
+    [ "ca_hepth" ]
+
+let ext_atleastk () =
+  H.section "Future work — densest-at-least-k (size-constrained DSD)";
+  let g = dataset "netscience" in
+  Printf.printf "\n[netscience]  (edge density; unconstrained rho_opt first)\n";
+  let rows =
+    List.map
+      (fun k ->
+        let cell =
+          H.run_cell (fun () ->
+              let r = Dsd_core.At_least_k.run g P.edge ~k in
+              Printf.sprintf "%.4f %d"
+                r.Dsd_core.At_least_k.subgraph.D.density
+                (Array.length r.Dsd_core.At_least_k.subgraph.D.vertices))
+        in
+        match cell with
+        | H.Ok s ->
+          (match String.split_on_char ' ' (String.trim s) with
+           | [ d; size ] -> [ string_of_int k; d; size ]
+           | _ -> [ string_of_int k; String.trim s; "-" ])
+        | other -> [ string_of_int k; H.show_payload other; "-" ])
+      [ 1; 50; 200; 500; 1000 ]
+  in
+  H.table ~header:[ "k (min size)"; "density"; "|subgraph|" ] ~rows
+
+(* ---- extension: directed densest subgraph ---- *)
+
+let ext_directed () =
+  H.section "Extension — directed densest subgraph (Kannan-Vinay density)";
+  Printf.printf
+    "\n(directed ER graphs; exact is O(n^2) flows so only the small one)\n";
+  let rows =
+    List.map
+      (fun (n, p, with_exact) ->
+        let g = Dsd_data.Gen.er_directed ~seed:77 ~n ~p in
+        let approx_cell =
+          H.run_cell (fun () ->
+              let r, t = H.timed (fun () -> Dsd_core.Directed.approx ~eps:0.2 g) in
+              Printf.sprintf "%.4f %.3f" r.Dsd_core.Directed.density t)
+        in
+        let exact_cell =
+          if with_exact then
+            H.run_cell ~timeout:(6. *. !H.default_timeout) (fun () ->
+                let r, t = H.timed (fun () -> Dsd_core.Directed.exact g) in
+                Printf.sprintf "%.4f %.3f" r.Dsd_core.Directed.density t)
+          else H.Ok "- -"
+        in
+        let split c =
+          match c with
+          | H.Ok s ->
+            (match String.split_on_char ' ' (String.trim s) with
+             | [ d; t ] -> [ d; t ]
+             | _ -> [ String.trim s; "-" ])
+          | other -> [ H.show_payload other; "-" ]
+        in
+        [ Printf.sprintf "n=%d p=%.3f (m=%d)" n p (Dsd_graph.Digraph.m g) ]
+        @ split exact_cell @ split approx_cell)
+      [ (40, 0.08, true); (400, 0.02, false); (2000, 0.005, false) ]
+  in
+  H.table
+    ~header:[ "digraph"; "exact rho"; "exact s"; "approx rho"; "approx s" ]
+    ~rows
+
+(* ---- bechamel micro-benchmarks of the primitives ---- *)
+
+let micro () =
+  H.section "Micro — bechamel benchmarks of core primitives";
+  let open Bechamel in
+  let g = dataset "as733" in
+  let gc = dataset "ca_hepth" in
+  let tests =
+    Test.make_grouped ~name:"primitives" ~fmt:"%s %s"
+      [
+        Test.make ~name:"kcore-decomp(as733)"
+          (Staged.stage (fun () -> ignore (Dsd_core.Kcore.decompose g)));
+        Test.make ~name:"triangle-list(as733)"
+          (Staged.stage (fun () -> ignore (Dsd_clique.Kclist.count g ~h:3)));
+        Test.make ~name:"tri-core-decomp(as733)"
+          (Staged.stage (fun () ->
+               ignore
+                 (Dsd_core.Clique_core.decompose ~track_density:false g P.triangle)));
+        Test.make ~name:"eds-mincut(ca_hepth)"
+          (Staged.stage (fun () ->
+               let net = Dsd_core.Flow_build.eds_network gc ~alpha:2.0 in
+               ignore (Dsd_core.Flow_build.solve net)));
+      ]
+  in
+  let benchmark () =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 10) ()
+    in
+    let raw = Benchmark.all cfg [ instance ] tests in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false
+        ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
+    |> List.sort compare
+    |> List.iter (fun (name, v) ->
+           match Analyze.OLS.estimates v with
+           | Some [ est ] ->
+             Printf.printf "  %-28s %12.1f ns/run\n" name est
+           | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+  in
+  benchmark ()
+
+(* ---- registry ---- *)
+
+let all : (string * string * (unit -> unit)) list =
+  [
+    ("tab2", "Table 2/Fig 18: dataset characteristics", tab2);
+    ("fig8_exact", "Fig 8(a-e): exact CDS algorithms", fig8_exact);
+    ("fig8_approx", "Fig 8(f-j): approximation CDS algorithms", fig8_approx);
+    ("fig9", "Fig 9: flow network sizes in CoreExact", fig9);
+    ("fig10", "Fig 10: pruning ablation", fig10);
+    ("tab3", "Table 3: core decomposition share of CoreExact", tab3);
+    ("tab4", "Table 4: EMcore vs CoreApp", tab4);
+    ("fig11", "Fig 11: approximation ratios", fig11);
+    ("fig12", "Fig 12: CoreExact vs CoreApp", fig12);
+    ("fig13", "Fig 13: exact algorithms on random graphs", fig13);
+    ("fig14", "Fig 14: approximation algorithms on random graphs", fig14);
+    ("tab5", "Table 5: densities of CDS/PDS vs EDS", tab5);
+    ("fig15", "Fig 15: exact PDS algorithms", fig15);
+    ("fig16", "Fig 16: approximation PDS algorithms", fig16);
+    ("fig17", "Fig 17: S-DBLP case study", fig17);
+    ("fig20", "Fig 20: approximation on extra datasets", fig20);
+    ("fig21", "Fig 21: yeast motif case study", fig21);
+    ("sec63", "Sec 6.3: query-vertex CDS variant", sec63);
+    ("ext_greedy", "extension: Greedy++ convergence", ext_greedy);
+    ("ext_streaming", "extension: streaming eps sweep", ext_streaming);
+    ("ext_parallel", "extension: multicore clique counting", ext_parallel);
+    ("ext_truss", "extension: truss vs CDS", ext_truss);
+    ("ext_sampled", "future work: sampled approximation", ext_sampled);
+    ("ext_atleastk", "future work: densest-at-least-k", ext_atleastk);
+    ("ext_directed", "extension: directed densest subgraph", ext_directed);
+    ("abl_grouping", "ablation: construct+ grouping", abl_grouping);
+    ("abl_window", "ablation: CoreApp initial window", abl_window);
+    ("micro", "bechamel micro-benchmarks", micro);
+  ]

@@ -1,0 +1,50 @@
+(* Benchmark harness entry point.
+
+   dune exec bench/main.exe                  # every experiment
+   dune exec bench/main.exe -- --list
+   dune exec bench/main.exe -- --only fig9,tab5
+   dune exec bench/main.exe -- --timeout 30  # per-cell budget (s) *)
+
+let () =
+  let only = ref [] in
+  let list_only = ref false in
+  let spec =
+    [
+      ("--only",
+       Arg.String
+         (fun s -> only := String.split_on_char ',' s),
+       "IDS  comma-separated experiment ids to run");
+      ("--timeout",
+       Arg.Float (fun t -> Harness.default_timeout := t),
+       "SECS  per-cell wall-clock budget (default 10)");
+      ("--list", Arg.Set list_only, " list experiment ids and exit");
+    ]
+  in
+  Arg.parse spec
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    "bench/main.exe [--list] [--only ids] [--timeout secs]";
+  if !list_only then
+    List.iter
+      (fun (id, doc, _) -> Printf.printf "%-12s %s\n" id doc)
+      Experiments.all
+  else begin
+    let selected =
+      if !only = [] then Experiments.all
+      else
+        List.map
+          (fun id ->
+            match List.find_opt (fun (i, _, _) -> i = id) Experiments.all with
+            | Some e -> e
+            | None ->
+              Printf.eprintf "unknown experiment id %s (try --list)\n" id;
+              exit 2)
+          !only
+    in
+    Printf.printf
+      "DSD benchmark harness — per-cell timeout %.0fs (TIMEOUT rows = the paper's \
+       'cannot finish' bars)\n"
+      !Harness.default_timeout;
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun (_, _, run) -> run ()) selected;
+    Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  end

@@ -1,0 +1,294 @@
+(* dsd — command-line front end for densest subgraph discovery.
+
+   Subcommands:
+     generate    write a synthetic graph to an edge-list file
+     stats       print dataset characteristics (Table 2 columns)
+     decompose   (k, Psi)-core numbers / the kmax core
+     cds         find the densest subgraph (exact or approximate)
+     query       densest subgraph containing given vertices (Sec 6.3)
+     truss       k-truss decomposition (comparison model)
+     patterns    list the built-in patterns
+
+   Graphs are read from edge-list files ('u v' per line, '#' comments)
+   or taken from the built-in named datasets with --dataset. *)
+
+module G = Dsd_graph.Graph
+module P = Dsd_pattern.Pattern
+module C = Cmdliner
+
+(* User-facing failures (bad files, bad arguments to the library)
+   should print one line and exit 2, not cmdliner's "internal error"
+   banner. *)
+let or_die f =
+  try f () with
+  | Invalid_argument msg | Failure msg | Sys_error msg ->
+    Printf.eprintf "dsd: %s\n" msg;
+    exit 2
+
+let load_graph file dataset =
+  match (file, dataset) with
+  | Some path, None -> fst (Dsd_graph.Io.read path)
+  | None, Some name ->
+    if not (Dsd_data.Datasets.mem name) then begin
+      Printf.eprintf "unknown dataset %s; known: %s\n" name
+        (String.concat ", "
+           (List.map (fun s -> s.Dsd_data.Datasets.name) Dsd_data.Datasets.all));
+      exit 2
+    end
+    else Dsd_data.Datasets.graph name
+  | _ ->
+    prerr_endline "exactly one of --input or --dataset is required";
+    exit 2
+
+let pattern_of_string s =
+  match String.lowercase_ascii s with
+  | "edge" | "2-clique" -> P.edge
+  | "triangle" | "3-clique" -> P.triangle
+  | "4-clique" -> P.clique 4
+  | "5-clique" -> P.clique 5
+  | "6-clique" -> P.clique 6
+  | "2-star" -> P.star 2
+  | "3-star" -> P.star 3
+  | "c3-star" | "paw" -> P.c3_star
+  | "diamond" | "c4" -> P.diamond
+  | "2-triangle" -> P.two_triangle
+  | "3-triangle" -> P.three_triangle
+  | "basket" | "house" -> P.basket
+  | other ->
+    Printf.eprintf "unknown pattern %s (see 'dsd patterns')\n" other;
+    exit 2
+
+(* ---- common options ---- *)
+
+let input_arg =
+  C.Arg.(value & opt (some string) None
+         & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Edge-list input file.")
+
+let dataset_arg =
+  C.Arg.(value & opt (some string) None
+         & info [ "d"; "dataset" ] ~docv:"NAME" ~doc:"Built-in synthetic dataset.")
+
+let pattern_arg =
+  C.Arg.(value & opt string "edge"
+         & info [ "p"; "pattern" ] ~docv:"PSI"
+             ~doc:"Density pattern: edge, triangle, 4/5/6-clique, 2/3-star, \
+                   c3-star, diamond, 2-triangle, 3-triangle, basket.")
+
+(* ---- generate ---- *)
+
+let generate =
+  let model =
+    C.Arg.(required & pos 0 (some string) None
+           & info [] ~docv:"MODEL" ~doc:"er | rmat | ssca | ba | chunglu")
+  in
+  let n = C.Arg.(value & opt int 1000 & info [ "n" ] ~doc:"Vertices.") in
+  let seed = C.Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let param =
+    C.Arg.(value & opt float 0.01
+           & info [ "param" ]
+               ~doc:"Model parameter: ER edge probability, BA attach count, \
+                     SSCA max clique, R-MAT edge factor, Chung-Lu average degree.")
+  in
+  let output =
+    C.Arg.(required & opt (some string) None
+           & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output edge-list file.")
+  in
+  let run model n seed param output =
+    let g =
+      match model with
+      | "er" -> Dsd_data.Gen.er_gnp ~seed ~n ~p:param
+      | "rmat" ->
+        let scale =
+          int_of_float (Float.ceil (Float.log2 (float_of_int (max 2 n))))
+        in
+        Dsd_data.Gen.rmat ~seed ~scale ~edge_factor:(int_of_float param) ()
+      | "ssca" -> Dsd_data.Gen.ssca ~seed ~n ~max_clique:(int_of_float param)
+      | "ba" -> Dsd_data.Gen.barabasi_albert ~seed ~n ~attach:(int_of_float param)
+      | "chunglu" ->
+        Dsd_data.Gen.power_law_chung_lu ~seed ~n ~alpha:2.3 ~avg_deg:param
+      | other ->
+        Printf.eprintf "unknown model %s\n" other;
+        exit 2
+    in
+    Dsd_graph.Io.write output g;
+    Printf.printf "wrote %s: %d vertices, %d edges\n" output (G.n g) (G.m g)
+  in
+  let run a b c d e = or_die (fun () -> run a b c d e) in
+  C.Cmd.v (C.Cmd.info "generate" ~doc:"Generate a synthetic graph.")
+    C.Term.(const run $ model $ n $ seed $ param $ output)
+
+(* ---- stats ---- *)
+
+let stats =
+  let run input dataset pattern =
+    let g = load_graph input dataset in
+    let psi = pattern_of_string pattern in
+    let _, cc = Dsd_graph.Traversal.components g in
+    let alpha = Dsd_util.Stats.power_law_alpha (G.degrees g) in
+    let decomp = Dsd_core.Clique_core.decompose ~track_density:false g psi in
+    let core = Dsd_core.Clique_core.kmax_core decomp in
+    Printf.printf "vertices            %d\n" (G.n g);
+    Printf.printf "edges               %d\n" (G.m g);
+    Printf.printf "connected comps     %d\n" cc;
+    Printf.printf "pseudo-diameter     %d\n" (Dsd_graph.Traversal.pseudo_diameter g);
+    Printf.printf "power-law alpha     %.4f\n" alpha;
+    Printf.printf "pattern             %s\n" psi.P.name;
+    Printf.printf "mu(G, Psi)          %d\n" decomp.Dsd_core.Clique_core.mu_total;
+    Printf.printf "kmax                %d\n" decomp.Dsd_core.Clique_core.kmax;
+    Printf.printf "(kmax, Psi)-core    %d vertices\n" (Array.length core)
+  in
+  let run a b c = or_die (fun () -> run a b c) in
+  C.Cmd.v (C.Cmd.info "stats" ~doc:"Print dataset characteristics.")
+    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg)
+
+(* ---- decompose ---- *)
+
+let decompose =
+  let show_all =
+    C.Arg.(value & flag & info [ "all" ] ~doc:"Print every vertex's core number.")
+  in
+  let run input dataset pattern show_all =
+    let g = load_graph input dataset in
+    let psi = pattern_of_string pattern in
+    let decomp = Dsd_core.Clique_core.decompose ~track_density:false g psi in
+    Printf.printf "kmax = %d\n" decomp.Dsd_core.Clique_core.kmax;
+    if show_all then
+      Array.iteri
+        (fun v c -> Printf.printf "%d %d\n" v c)
+        decomp.Dsd_core.Clique_core.core
+    else begin
+      let core = Dsd_core.Clique_core.kmax_core decomp in
+      Printf.printf "(kmax, %s)-core: %d vertices\n" psi.P.name (Array.length core);
+      Array.iter (Printf.printf "%d ") core;
+      print_newline ()
+    end
+  in
+  let run a b c d = or_die (fun () -> run a b c d) in
+  C.Cmd.v (C.Cmd.info "decompose" ~doc:"(k, Psi)-core decomposition.")
+    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ show_all)
+
+(* ---- cds ---- *)
+
+let cds =
+  let algo =
+    C.Arg.(value & opt string "coreexact"
+           & info [ "a"; "algorithm" ]
+               ~doc:"exact | coreexact | peel | incapp | coreapp | \
+                     greedy++ | streaming")
+  in
+  let dot =
+    C.Arg.(value & opt (some string) None
+           & info [ "dot" ] ~docv:"FILE"
+               ~doc:"Also write the graph as Graphviz DOT with the found \
+                     subgraph highlighted.")
+  in
+  let run input dataset pattern algo dot =
+    let g = load_graph input dataset in
+    let psi = pattern_of_string pattern in
+    let name, solve =
+      match String.lowercase_ascii algo with
+      | "exact" -> ("Exact", fun () -> Dsd_core.Api.densest_subgraph ~psi ~algorithm:Dsd_core.Api.Exact_flow g)
+      | "coreexact" -> ("CoreExact", fun () -> Dsd_core.Api.densest_subgraph ~psi ~algorithm:Dsd_core.Api.Core_exact g)
+      | "peel" -> ("PeelApp", fun () -> Dsd_core.Api.densest_subgraph ~psi ~algorithm:Dsd_core.Api.Peel g)
+      | "incapp" -> ("IncApp", fun () -> Dsd_core.Api.densest_subgraph ~psi ~algorithm:Dsd_core.Api.Inc_app g)
+      | "coreapp" -> ("CoreApp", fun () -> Dsd_core.Api.densest_subgraph ~psi ~algorithm:Dsd_core.Api.Core_app g)
+      | "greedy++" | "greedypp" ->
+        ("Greedy++", fun () -> (Dsd_core.Greedy_pp.run g psi).Dsd_core.Greedy_pp.subgraph)
+      | "streaming" ->
+        ("Streaming", fun () -> (Dsd_core.Streaming.run g psi).Dsd_core.Streaming.subgraph)
+      | other ->
+        Printf.eprintf "unknown algorithm %s\n" other;
+        exit 2
+    in
+    let (sg : Dsd_core.Density.subgraph), elapsed = Dsd_util.Timer.time solve in
+    Printf.printf "algorithm  %s\n" name;
+    Printf.printf "pattern    %s\n" psi.P.name;
+    Printf.printf "density    %.6f\n" sg.density;
+    Printf.printf "vertices   %d\n" (Array.length sg.vertices);
+    Printf.printf "time       %.3fs\n" elapsed;
+    Array.iter (Printf.printf "%d ") sg.vertices;
+    print_newline ();
+    Option.iter
+      (fun path ->
+        Dsd_graph.Io.write_dot path g ~highlight:sg.vertices;
+        Printf.printf "wrote %s\n" path)
+      dot
+  in
+  let run a b c d e = or_die (fun () -> run a b c d e) in
+  C.Cmd.v
+    (C.Cmd.info "cds" ~doc:"Find the (approximately) densest subgraph.")
+    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ algo $ dot)
+
+(* ---- query (Section 6.3 variant) ---- *)
+
+let query =
+  let vertices =
+    C.Arg.(non_empty & pos_all int []
+           & info [] ~docv:"VERTEX" ~doc:"Query vertices the subgraph must contain.")
+  in
+  let run input dataset pattern vertices =
+    let g = load_graph input dataset in
+    let psi = pattern_of_string pattern in
+    let r = Dsd_core.Query_dsd.run g psi ~query:(Array.of_list vertices) in
+    let sg = r.Dsd_core.Query_dsd.subgraph in
+    Printf.printf "pattern    %s\n" psi.P.name;
+    Printf.printf "density    %.6f\n" sg.Dsd_core.Density.density;
+    Printf.printf "vertices   %d\n" (Array.length sg.Dsd_core.Density.vertices);
+    Printf.printf "time       %.3fs (%d min-cuts)\n" r.Dsd_core.Query_dsd.elapsed_s
+      r.Dsd_core.Query_dsd.iterations;
+    Array.iter (Printf.printf "%d ") sg.Dsd_core.Density.vertices;
+    print_newline ()
+  in
+  let run a b c d = or_die (fun () -> run a b c d) in
+  C.Cmd.v
+    (C.Cmd.info "query"
+       ~doc:"Densest subgraph containing given query vertices (Section 6.3).")
+    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ vertices)
+
+(* ---- truss ---- *)
+
+let truss =
+  let k = C.Arg.(value & opt (some int) None
+                 & info [ "k" ] ~doc:"Print the edges of the k-truss.") in
+  let run input dataset k =
+    let g = load_graph input dataset in
+    let t = Dsd_core.Truss.decompose g in
+    Printf.printf "max truss  %d\n" (Dsd_core.Truss.kmax t);
+    let sg = Dsd_core.Truss.max_truss_subgraph g t in
+    Printf.printf "kmax-truss %d vertices, edge density %.4f\n"
+      (Array.length sg.Dsd_core.Density.vertices) sg.Dsd_core.Density.density;
+    Option.iter
+      (fun k ->
+        let edges = Dsd_core.Truss.k_truss t ~k in
+        Printf.printf "%d-truss: %d edges\n" k (Array.length edges);
+        Array.iter (fun (u, v) -> Printf.printf "%d %d\n" u v) edges)
+      k
+  in
+  let run a b c = or_die (fun () -> run a b c) in
+  C.Cmd.v
+    (C.Cmd.info "truss" ~doc:"k-truss decomposition (comparison model).")
+    C.Term.(const run $ input_arg $ dataset_arg $ k)
+
+(* ---- patterns ---- *)
+
+let patterns =
+  let run () =
+    List.iter
+      (fun (psi : P.t) ->
+        Printf.printf "%-12s |V|=%d |E|=%d  %s\n" psi.name psi.size
+          (P.edge_count psi)
+          (String.concat " "
+             (List.map
+                (fun (u, v) -> Printf.sprintf "%d-%d" u v)
+                (Array.to_list psi.edges))))
+      ([ P.edge; P.triangle; P.clique 4; P.clique 5; P.clique 6 ] @ P.figure7)
+  in
+  C.Cmd.v (C.Cmd.info "patterns" ~doc:"List built-in patterns.")
+    C.Term.(const run $ const ())
+
+let () =
+  let info =
+    C.Cmd.info "dsd" ~version:"1.0.0"
+      ~doc:"Core-based densest subgraph discovery (VLDB'19 reproduction)."
+  in
+  exit (C.Cmd.eval (C.Cmd.group info [ generate; stats; decompose; cds; query; truss; patterns ]))

@@ -1,0 +1,56 @@
+(* Community detection on a DBLP-style collaboration network — the
+   paper's Figure 17 case study.
+
+   Triangle-densest subgraphs find tightly collaborating near-cliques
+   (every pair has co-authored); 2-star-densest subgraphs find
+   advisor-centred groups (a hub linked to many students who rarely
+   co-author with each other).
+
+   Run with: dune exec examples/community_detection.exe *)
+
+module G = Dsd_graph.Graph
+module P = Dsd_pattern.Pattern
+module D = Dsd_core.Density
+
+let describe name (sg : D.subgraph) g =
+  let sub, _ = G.induced g sg.D.vertices in
+  let degs = G.degrees sub in
+  Printf.printf "%s\n  density   %.2f\n  members   %d\n  avg degree inside %.2f, max %d\n"
+    name sg.D.density (Array.length sg.D.vertices)
+    (Dsd_util.Stats.mean (Array.map float_of_int degs))
+    (Dsd_util.Stats.max_int_arr degs)
+
+let () =
+  let g = Dsd_data.Datasets.graph "sdblp" in
+  Printf.printf "S-DBLP-like co-authorship network: %d authors, %d collaborations\n\n"
+    (G.n g) (G.m g);
+
+  (* Near-clique research group: exact triangle-densest subgraph. *)
+  let tri = (Dsd_core.Core_exact.run g P.triangle).subgraph in
+  describe "triangle-densest group (tight collaboration):" tri g;
+  let sub, _ = G.induced g tri.D.vertices in
+  let pairs = G.n sub * (G.n sub - 1) / 2 in
+  Printf.printf "  %d of %d pairs have co-authored -> near-clique\n\n"
+    (G.m sub) pairs;
+
+  (* Advisor-centred group: exact 2-star-densest subgraph. *)
+  let star = (Dsd_core.Core_pexact.run g (P.star 2)).subgraph in
+  describe "2-star-densest group (advisor-centred):" star g;
+  let sub, map = G.induced g star.D.vertices in
+  let hub = ref 0 in
+  for v = 0 to G.n sub - 1 do
+    if G.degree sub v > G.degree sub !hub then hub := v
+  done;
+  Printf.printf "  hub author %d is linked to %d of the %d members\n\n"
+    map.(!hub) (G.degree sub !hub) (G.n sub - 1);
+
+  (* The two notions select different communities. *)
+  let overlap =
+    Array.fold_left
+      (fun acc v -> if Array.exists (( = ) v) star.D.vertices then acc + 1 else acc)
+      0 tri.D.vertices
+  in
+  Printf.printf
+    "overlap between the two groups: %d vertices — different density \
+     notions surface different community structures.\n"
+    overlap

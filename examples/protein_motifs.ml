@@ -1,0 +1,64 @@
+(* Motif-dense subnetworks in a protein-interaction-style graph — the
+   paper's Figure 21 (Yeast) case study.
+
+   Different patterns act as proxies for different functional classes
+   (Wuchty et al. 2003): we extract the pattern-densest subgraph for
+   the edge, c3-star, 2-triangle and 4-clique motifs and show that they
+   select different subnetworks.
+
+   Run with: dune exec examples/protein_motifs.exe *)
+
+module G = Dsd_graph.Graph
+module P = Dsd_pattern.Pattern
+module D = Dsd_core.Density
+
+module Vset = Set.Make (Int)
+
+let jaccard a b =
+  let inter = Vset.cardinal (Vset.inter a b) in
+  let union = Vset.cardinal (Vset.union a b) in
+  if union = 0 then 0. else float_of_int inter /. float_of_int union
+
+let () =
+  let g = Dsd_data.Datasets.graph "yeast" in
+  Printf.printf "yeast-like PPI network: %d proteins, %d interactions\n\n"
+    (G.n g) (G.m g);
+  let motifs =
+    [ ("edge        (subcellular localisation)", P.edge);
+      ("c3-star     (cell cycle / transport)", P.c3_star);
+      ("2-triangle  (localisation / cell cycle)", P.two_triangle);
+      ("4-clique    (transport / protein synthesis)", P.clique 4) ]
+  in
+  let results =
+    List.map
+      (fun (label, psi) ->
+        let r = Dsd_core.Core_pexact.run g psi in
+        (label, r.subgraph))
+      motifs
+  in
+  List.iter
+    (fun (label, (sg : D.subgraph)) ->
+      Printf.printf "%s\n  PDS density %.3f over %d proteins: "
+        label sg.D.density (Array.length sg.D.vertices);
+      Array.iteri
+        (fun i v -> if i < 12 then Printf.printf "%d " v)
+        sg.D.vertices;
+      if Array.length sg.D.vertices > 12 then print_string "...";
+      print_newline ())
+    results;
+  print_newline ();
+  print_endline "pairwise overlap (Jaccard) of the PDS vertex sets:";
+  let sets =
+    List.map
+      (fun (_, sg) -> Vset.of_list (Array.to_list sg.D.vertices))
+      results
+  in
+  List.iteri
+    (fun i si ->
+      List.iteri
+        (fun j sj ->
+          if i < j then
+            Printf.printf "  motif %d vs motif %d: %.2f\n" (i + 1) (j + 1)
+              (jaccard si sj))
+        sets)
+    sets

@@ -1,0 +1,61 @@
+(* Social piggybacking (Gionis et al., PVLDB'13) — one of the paper's
+   motivating applications for DSD in system optimisation.
+
+   Feed-delivery systems choose, per (producer, consumer) pair, whether
+   the consumer polls the producer ("pull") or the producer pushes
+   updates ("push").  A dense subgraph is a good "hub set": materialise
+   one shared feed for the dense region and let its members serve
+   traffic between their neighbours, saving per-edge work proportional
+   to the region's density.
+
+   This example greedily extracts dense subgraphs with CoreApp, removes
+   them, and repeats — a standard DSD-based hub-set heuristic — and
+   reports the delivery-cost saving on a synthetic social network.
+
+   Run with: dune exec examples/social_piggyback.exe *)
+
+module G = Dsd_graph.Graph
+module P = Dsd_pattern.Pattern
+module D = Dsd_core.Density
+
+let () =
+  let g = Dsd_data.Gen.ssca ~seed:2024 ~n:20_000 ~max_clique:24 in
+  Printf.printf "social network: %d users, %d follow relations\n\n" (G.n g) (G.m g);
+  (* Baseline cost: every edge served individually (unit cost each). *)
+  let baseline = G.m g in
+  (* Greedy hub-set construction: repeatedly take the densest region
+     (CoreApp: (kmax, edge)-core) while it stays dense enough to pay
+     for its hub feed. *)
+  let alive = Array.make (G.n g) true in
+  let saved = ref 0 in
+  let hubs = ref 0 in
+  let round = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !round < 10 do
+    incr round;
+    let live =
+      Array.of_list (List.filter (fun v -> alive.(v)) (List.init (G.n g) Fun.id))
+    in
+    let sub, map = G.induced g live in
+    let r = Dsd_core.Core_app.run sub P.edge in
+    let sg = r.subgraph in
+    if sg.D.density < 3.0 || Array.length sg.D.vertices < 4 then
+      continue_ := false
+    else begin
+      let sub_core, _ = G.induced sub sg.D.vertices in
+      (* Serving the region through one shared feed costs ~|V| instead
+         of |E|: the saving is m - n per region. *)
+      let gain = G.m sub_core - G.n sub_core in
+      saved := !saved + max 0 gain;
+      incr hubs;
+      Printf.printf
+        "hub set %d: %4d users, %5d internal relations (density %.2f) -> saves %d deliveries\n"
+        !round (G.n sub_core) (G.m sub_core) sg.D.density (max 0 gain);
+      Array.iter (fun v -> alive.(map.(v)) <- false) sg.D.vertices
+    end
+  done;
+  Printf.printf
+    "\ntotal: %d of %d deliveries saved (%.1f%%) using %d hub sets\n"
+    !saved baseline
+    (100. *. float_of_int !saved /. float_of_int baseline)
+    !hubs

@@ -1,0 +1,13 @@
+(** Clique-degree computation (Definition 3) built on {!Kclist}. *)
+
+(** [degrees g ~h] returns deg_G(v, Psi) for every vertex, where Psi is
+    the h-clique. *)
+val degrees : Dsd_graph.Graph.t -> h:int -> int array
+
+(** [mu g ~h] is the instance count mu(G, Psi); equals
+    [sum degrees / h]. *)
+val mu : Dsd_graph.Graph.t -> h:int -> int
+
+(** [triangles_per_edge g] maps each edge (u, v), u < v, to its number
+    of common neighbours (support); used by fast paths and tests. *)
+val triangles_per_edge : Dsd_graph.Graph.t -> ((int * int) * int) array

@@ -1,0 +1,79 @@
+type t = {
+  n : int;
+  insts : int array array;
+  posting : int array array;   (* vertex -> ids of instances containing it *)
+  live : Bytes.t;              (* instance -> 1 if live *)
+  deg : int array;             (* vertex -> live instance count *)
+  mutable live_count : int;
+}
+
+let create ~n insts =
+  let counts = Array.make n 0 in
+  Array.iter
+    (fun inst ->
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n then invalid_arg "Instance_store.create: vertex out of range";
+          counts.(v) <- counts.(v) + 1)
+        inst)
+    insts;
+  let posting = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun i inst ->
+      Array.iter
+        (fun v ->
+          posting.(v).(fill.(v)) <- i;
+          fill.(v) <- fill.(v) + 1)
+        inst)
+    insts;
+  {
+    n;
+    insts;
+    posting;
+    live = Bytes.make (Array.length insts) '\001';
+    deg = counts;
+    live_count = Array.length insts;
+  }
+
+let total t = Array.length t.insts
+let live_total t = t.live_count
+let members t i = t.insts.(i)
+let is_live t i = Bytes.get t.live i = '\001'
+let degree t v = t.deg.(v)
+
+let kill_instance_internal t i ~skip ~on_comember =
+  Bytes.set t.live i '\000';
+  t.live_count <- t.live_count - 1;
+  Array.iter
+    (fun u ->
+      if u <> skip then begin
+        t.deg.(u) <- t.deg.(u) - 1;
+        on_comember u
+      end)
+    t.insts.(i)
+
+let kill_vertex t v ~on_comember =
+  let killed = ref 0 in
+  Array.iter
+    (fun i ->
+      if is_live t i then begin
+        incr killed;
+        kill_instance_internal t i ~skip:v ~on_comember
+      end)
+    t.posting.(v);
+  t.deg.(v) <- 0;
+  !killed
+
+let kill_instance t i =
+  if is_live t i then
+    kill_instance_internal t i ~skip:(-1) ~on_comember:(fun _ -> ())
+
+let iter_live_of_vertex t v ~f =
+  Array.iter (fun i -> if is_live t i then f i) t.posting.(v)
+
+let reset t =
+  Bytes.fill t.live 0 (Bytes.length t.live) '\001';
+  t.live_count <- total t;
+  Array.fill t.deg 0 t.n 0;
+  Array.iter (fun inst -> Array.iter (fun v -> t.deg.(v) <- t.deg.(v) + 1) inst) t.insts

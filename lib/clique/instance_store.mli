@@ -1,0 +1,46 @@
+(** Materialised store of instance hyperedges (h-cliques or pattern
+    instances) with per-vertex postings and liveness bits.
+
+    Algorithm 3's (k, Psi)-core decomposition deletes a vertex and must
+    retire every instance containing it while decrementing the
+    instance-degrees of the co-members.  Materialising the instance set
+    once makes each deletion cost proportional to the retired
+    instances — the same O(n * C(d-1, h-1)) total bound as the paper's
+    re-enumeration formulation, without repeated neighbourhood
+    enumeration. *)
+
+type t
+
+(** [create ~n instances] indexes instances over vertices [0..n-1].
+    Member arrays must be duplicate-free; they are not copied. *)
+val create : n:int -> int array array -> t
+
+(** Total number of instances (live and dead). *)
+val total : t -> int
+
+(** Number of currently live instances. *)
+val live_total : t -> int
+
+val members : t -> int -> int array
+val is_live : t -> int -> bool
+
+(** [degree t v] is the number of live instances containing [v] (the
+    instance-degree deg(v, Psi) restricted to live instances). *)
+val degree : t -> int -> int
+
+(** [kill_vertex t v ~on_comember] retires every live instance
+    containing [v].  For each retired instance, [on_comember] is called
+    once per member other than [v] (after that member's degree has been
+    decremented).  Returns the number of instances retired. *)
+val kill_vertex : t -> int -> on_comember:(int -> unit) -> int
+
+(** [kill_instance t i] retires a single live instance, decrementing
+    all member degrees.  No-op on a dead instance. *)
+val kill_instance : t -> int -> unit
+
+(** [iter_live_of_vertex t v ~f] visits ids of live instances
+    containing [v]. *)
+val iter_live_of_vertex : t -> int -> f:(int -> unit) -> unit
+
+(** [reset t] revives all instances and restores initial degrees. *)
+val reset : t -> unit

@@ -1,0 +1,87 @@
+module G = Dsd_graph.Graph
+
+(* Out-neighbourhoods of the degeneracy DAG, each sorted by vertex id
+   so candidate sets can be intersected by linear merges. *)
+let build_dag g =
+  let deg = Dsd_graph.Degeneracy.compute g in
+  let n = G.n g in
+  let out = Array.make n [||] in
+  for v = 0 to n - 1 do
+    let buf = Dsd_util.Vec.Int.create () in
+    G.iter_neighbors g v ~f:(fun w ->
+        if deg.rank.(w) > deg.rank.(v) then Dsd_util.Vec.Int.push buf w);
+    out.(v) <- Dsd_util.Vec.Int.to_array buf
+  done;
+  out
+
+let intersect a b =
+  let out = Dsd_util.Vec.Int.create ~capacity:(min (Array.length a) (Array.length b) + 1) () in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length a && !j < Array.length b do
+    let x = a.(!i) and y = b.(!j) in
+    if x = y then begin
+      Dsd_util.Vec.Int.push out x;
+      incr i;
+      incr j
+    end
+    else if x < y then incr i
+    else incr j
+  done;
+  Dsd_util.Vec.Int.to_array out
+
+type dag = int array array
+
+let prepare g = build_dag g
+
+let iter_prepared out ~h ~roots ~f =
+  if h < 1 then invalid_arg "Kclist.iter_prepared: h must be >= 1";
+  let buf = Array.make h 0 in
+  let emit = Array.make h 0 in
+  let output () =
+    Array.blit buf 0 emit 0 h;
+    Array.sort compare emit;
+    f emit
+  in
+  if h = 1 then
+    Array.iter
+      (fun v ->
+        buf.(0) <- v;
+        output ())
+      roots
+  else begin
+    (* [depth] members are already chosen in buf.(0..depth-1); [cand]
+       holds the common DAG out-neighbours of all of them. *)
+    let rec extend depth cand =
+      if depth = h - 1 then
+        Array.iter
+          (fun u ->
+            buf.(depth) <- u;
+            output ())
+          cand
+      else
+        Array.iter
+          (fun u ->
+            buf.(depth) <- u;
+            extend (depth + 1) (intersect cand out.(u)))
+          cand
+    in
+    Array.iter
+      (fun v ->
+        buf.(0) <- v;
+        extend 1 out.(v))
+      roots
+  end
+
+let iter g ~h ~f =
+  let dag = prepare g in
+  iter_prepared dag ~h ~roots:(Array.init (G.n g) (fun v -> v)) ~f
+
+let count g ~h =
+  let c = ref 0 in
+  iter g ~h ~f:(fun _ -> incr c);
+  !c
+
+let list g ~h =
+  let acc = ref [] in
+  iter g ~h ~f:(fun inst -> acc := Array.copy inst :: !acc);
+  Array.of_list (List.rev !acc)

@@ -1,0 +1,35 @@
+(** h-clique listing via degeneracy-ordered DAG recursion (the kClist
+    algorithm of Danisch, Balalau and Sozio, WWW'18 — the paper's
+    reference [17] for clique-degree computation).
+
+    Each undirected edge is oriented from the vertex peeled earlier in
+    the degeneracy order to the later one; out-degrees are then bounded
+    by the degeneracy, and every h-clique is discovered exactly once as
+    a chain in the DAG. *)
+
+(** [iter g ~h ~f] calls [f] once per h-clique instance of [g] with the
+    member vertices sorted ascending.  The array is reused between
+    calls: copy it if you keep it.  [h] must be ≥ 1 ([h = 1] lists
+    vertices, [h = 2] edges). *)
+val iter : Dsd_graph.Graph.t -> h:int -> f:(int array -> unit) -> unit
+
+(** [count g ~h] is the number of h-clique instances, mu(G, Psi). *)
+val count : Dsd_graph.Graph.t -> h:int -> int
+
+(** [list g ~h] materialises all instances (each a fresh sorted
+    array). *)
+val list : Dsd_graph.Graph.t -> h:int -> int array array
+
+(** {1 Prepared form}
+
+    The degeneracy DAG can be built once and shared — it is immutable —
+    across repeated or parallel traversals ({!Parallel}). *)
+
+type dag
+
+val prepare : Dsd_graph.Graph.t -> dag
+
+(** [iter_prepared dag ~h ~roots ~f] lists the h-cliques whose
+    minimum-rank vertex is in [roots] (each clique has exactly one such
+    root, so disjoint root sets partition the cliques). *)
+val iter_prepared : dag -> h:int -> roots:int array -> f:(int array -> unit) -> unit

@@ -1,0 +1,58 @@
+module G = Dsd_graph.Graph
+
+let recommended_domains () =
+  min 8 (max 1 (Domain.recommended_domain_count ()))
+
+(* Stripe roots round-robin: high-degree roots (heavier recursion
+   trees) spread evenly across domains. *)
+let stripes n domains =
+  Array.init domains (fun d ->
+      let buf = Dsd_util.Vec.Int.create () in
+      let v = ref d in
+      while !v < n do
+        Dsd_util.Vec.Int.push buf !v;
+        v := !v + domains
+      done;
+      Dsd_util.Vec.Int.to_array buf)
+
+(* Run [per_stripe roots] on each stripe in its own domain (the last
+   stripe on the calling domain) and merge the results. *)
+let map_stripes g ~domains ~(per_stripe : int array -> 'a) : 'a list =
+  if domains < 1 then invalid_arg "Parallel: domains must be >= 1";
+  let parts = stripes (G.n g) domains in
+  if domains = 1 then [ per_stripe parts.(0) ]
+  else begin
+    let spawned =
+      Array.to_list
+        (Array.map
+           (fun roots -> Domain.spawn (fun () -> per_stripe roots))
+           (Array.sub parts 0 (domains - 1)))
+    in
+    let own = per_stripe parts.(domains - 1) in
+    own :: List.map Domain.join spawned
+  end
+
+let count g ~h ~domains =
+  let dag = Kclist.prepare g in
+  let partials =
+    map_stripes g ~domains ~per_stripe:(fun roots ->
+        let c = ref 0 in
+        Kclist.iter_prepared dag ~h ~roots ~f:(fun _ -> incr c);
+        !c)
+  in
+  List.fold_left ( + ) 0 partials
+
+let degrees g ~h ~domains =
+  let dag = Kclist.prepare g in
+  let partials =
+    map_stripes g ~domains ~per_stripe:(fun roots ->
+        let deg = Array.make (G.n g) 0 in
+        Kclist.iter_prepared dag ~h ~roots ~f:(fun inst ->
+            Array.iter (fun v -> deg.(v) <- deg.(v) + 1) inst);
+        deg)
+  in
+  match partials with
+  | [] -> [||]
+  | first :: rest ->
+    List.iter (fun part -> Array.iteri (fun v c -> first.(v) <- first.(v) + c) part) rest;
+    first

@@ -1,0 +1,18 @@
+(** Multicore h-clique counting (Section 6.3: "existing parallel k-core
+    decomposition algorithms can be easily extended...").
+
+    kClist's recursion trees are independent per root vertex, so roots
+    are striped across OCaml 5 domains; counts and per-vertex degrees
+    merge associatively.  This parallelises the dominant cost of every
+    approximation algorithm (clique-degree computation). *)
+
+(** [count g ~h ~domains] = [Kclist.count g ~h], computed on [domains]
+    domains (≥ 1; 1 falls back to the sequential code). *)
+val count : Dsd_graph.Graph.t -> h:int -> domains:int -> int
+
+(** [degrees g ~h ~domains] = [Clique_count.degrees g ~h] in
+    parallel. *)
+val degrees : Dsd_graph.Graph.t -> h:int -> domains:int -> int array
+
+(** Number of hardware domains recommended (capped at 8). *)
+val recommended_domains : unit -> int

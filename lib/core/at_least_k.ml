@@ -1,0 +1,23 @@
+module G = Dsd_graph.Graph
+
+type result = {
+  subgraph : Density.subgraph;
+  elapsed_s : float;
+}
+
+let run g psi ~k =
+  let n = G.n g in
+  if k < 1 || k > n then invalid_arg "At_least_k.run: k out of range";
+  let t0 = Dsd_util.Timer.now_s () in
+  let decomp = Clique_core.decompose ~track_density:true g psi in
+  (* Densest peel suffix among those with >= k vertices: suffixes
+     starting at index <= n - k. *)
+  let best_start = ref 0 in
+  let densities = decomp.Clique_core.residual_densities in
+  for i = 1 to n - k do
+    if densities.(i) > densities.(!best_start) then best_start := i
+  done;
+  let vs = Array.sub decomp.Clique_core.order !best_start (n - !best_start) in
+  Array.sort compare vs;
+  { subgraph = { Density.vertices = vs; density = densities.(!best_start) };
+    elapsed_s = Dsd_util.Timer.now_s () -. t0 }

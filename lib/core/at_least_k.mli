@@ -1,0 +1,18 @@
+(** Size-constrained DSD (the paper's future work: "finding densest
+    subgraphs with size constraints"): the densest-at-least-k problem —
+    the densest subgraph with at least [k] vertices.
+
+    NP-hard in general; the Andersen-Chellapilla-style heuristic
+    returns the densest peel *suffix* of size >= k, which for edge
+    density is a 1/3-approximation of the at-least-k optimum (and in
+    practice far better).  Runs on the same peel engine as PeelApp, so
+    any Psi works. *)
+
+type result = {
+  subgraph : Density.subgraph;   (** |vertices| >= k (when n >= k) *)
+  elapsed_s : float;
+}
+
+(** [run g psi ~k].
+    @raise Invalid_argument if [k < 1] or [k > n]. *)
+val run : Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> k:int -> result

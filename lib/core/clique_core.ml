@@ -1,0 +1,189 @@
+module G = Dsd_graph.Graph
+module P = Dsd_pattern.Pattern
+
+type t = {
+  psi : P.t;
+  core : int array;
+  kmax : int;
+  order : int array;
+  mu_total : int;
+  best_residual_density : float;
+  best_residual_start : int;
+  residual_densities : float array;
+}
+
+(* Shared peel skeleton.  [pop] yields the next minimum-degree vertex
+   with its degree; [retire v] kills v's live instances, returning how
+   many died, and updates co-member degrees (and whatever priority
+   structure backs [pop]). *)
+let peel ~n ~mu_total ~track_density ~pop ~retire =
+  let core = Array.make n 0 in
+  let order = Array.make n 0 in
+  let mu_live = ref mu_total in
+  let initial_density =
+    if n = 0 then 0. else float_of_int mu_total /. float_of_int n
+  in
+  let residuals =
+    if track_density then Array.make (max 1 n) initial_density else [||]
+  in
+  let best_density = ref initial_density in
+  let best_start = ref 0 in
+  let run_max = ref 0 in
+  for i = 0 to n - 1 do
+    match pop () with
+    | None -> assert false
+    | Some (v, deg) ->
+      if deg > !run_max then run_max := deg;
+      core.(v) <- !run_max;
+      order.(i) <- v;
+      let killed = retire v in
+      mu_live := !mu_live - killed;
+      if track_density && i < n - 1 then begin
+        let d = float_of_int !mu_live /. float_of_int (n - i - 1) in
+        residuals.(i + 1) <- d;
+        if d > !best_density then begin
+          best_density := d;
+          best_start := i + 1
+        end
+      end
+  done;
+  assert (!mu_live = 0);
+  ( core,
+    order,
+    !run_max,
+    (if track_density then !best_density else 0.),
+    (if track_density then !best_start else 0),
+    residuals )
+
+let decompose_generic ~track_density g psi =
+  let n = G.n g in
+  let insts = Enumerate.instances g psi in
+  let store = Dsd_clique.Instance_store.create ~n insts in
+  let max_deg = ref 1 in
+  for v = 0 to n - 1 do
+    if Dsd_clique.Instance_store.degree store v > !max_deg then
+      max_deg := Dsd_clique.Instance_store.degree store v
+  done;
+  let queue = Dsd_util.Bucket_queue.create ~n ~max_key:!max_deg in
+  for v = 0 to n - 1 do
+    Dsd_util.Bucket_queue.add queue ~item:v
+      ~key:(Dsd_clique.Instance_store.degree store v)
+  done;
+  (* Deduplicate co-member notifications per deletion with a stamp. *)
+  let stamp = Array.make n (-1) in
+  let touched = Dsd_util.Vec.Int.create () in
+  let retire v =
+    Dsd_util.Vec.Int.clear touched;
+    let killed =
+      Dsd_clique.Instance_store.kill_vertex store v ~on_comember:(fun u ->
+          if stamp.(u) <> v then begin
+            stamp.(u) <- v;
+            Dsd_util.Vec.Int.push touched u
+          end)
+    in
+    Dsd_util.Vec.Int.iter
+      (fun u ->
+        if Dsd_util.Bucket_queue.mem queue u then
+          Dsd_util.Bucket_queue.update queue ~item:u
+            ~key:(Dsd_clique.Instance_store.degree store u))
+      touched;
+    killed
+  in
+  let mu_total = Dsd_clique.Instance_store.total store in
+  let core, order, kmax, bd, bs, residuals =
+    peel ~n ~mu_total ~track_density
+      ~pop:(fun () -> Dsd_util.Bucket_queue.pop_min queue)
+      ~retire
+  in
+  (core, order, kmax, bd, bs, residuals, mu_total)
+
+(* Star / 4-cycle engine: closed-form degrees, decrement rules, lazy
+   heap (degrees like C(d, x) overflow a bucket array). *)
+let decompose_special g ~degrees_of ~on_delete =
+  let n = G.n g in
+  let live = Dsd_graph.Subgraph.of_graph g in
+  let degs = degrees_of live in
+  let heap = Dsd_util.Lazy_heap.create ~n in
+  for v = 0 to n - 1 do
+    Dsd_util.Lazy_heap.add heap ~item:v ~key:degs.(v)
+  done;
+  let psize_sum = Array.fold_left ( + ) 0 degs in
+  let stamp = Array.make n (-1) in
+  let touched = Dsd_util.Vec.Int.create () in
+  let retire v =
+    let killed = degs.(v) in
+    Dsd_util.Vec.Int.clear touched;
+    on_delete live ~v ~apply:(fun u delta ->
+        degs.(u) <- degs.(u) - delta;
+        if stamp.(u) <> v then begin
+          stamp.(u) <- v;
+          Dsd_util.Vec.Int.push touched u
+        end);
+    Dsd_graph.Subgraph.delete live v;
+    degs.(v) <- 0;
+    Dsd_util.Vec.Int.iter
+      (fun u ->
+        if Dsd_util.Lazy_heap.mem heap u then
+          Dsd_util.Lazy_heap.update heap ~item:u ~key:degs.(u))
+      touched;
+    killed
+  in
+  (psize_sum, retire, heap)
+
+let decompose ?(track_density = true) g (psi : P.t) =
+  let n = G.n g in
+  let core_arr, order, kmax, best_density, best_start, residuals, mu_total =
+    match psi.kind with
+    | P.Star x ->
+      let sum, retire, heap =
+        decompose_special g
+          ~degrees_of:(fun live -> Dsd_pattern.Special.star_degrees live ~x)
+          ~on_delete:(fun live ~v ~apply ->
+            Dsd_pattern.Special.star_on_delete live ~x ~v ~apply)
+      in
+      let mu_total = sum / psi.size in
+      let core, order, kmax, bd, bs, residuals =
+        peel ~n ~mu_total ~track_density
+          ~pop:(fun () -> Dsd_util.Lazy_heap.pop_min heap)
+          ~retire
+      in
+      (core, order, kmax, bd, bs, residuals, mu_total)
+    | P.Cycle4 ->
+      let sum, retire, heap =
+        decompose_special g
+          ~degrees_of:Dsd_pattern.Special.c4_degrees
+          ~on_delete:(fun live ~v ~apply ->
+            Dsd_pattern.Special.c4_on_delete live ~v ~apply)
+      in
+      let mu_total = sum / 4 in
+      let core, order, kmax, bd, bs, residuals =
+        peel ~n ~mu_total ~track_density
+          ~pop:(fun () -> Dsd_util.Lazy_heap.pop_min heap)
+          ~retire
+      in
+      (core, order, kmax, bd, bs, residuals, mu_total)
+    | P.Clique | P.Generic -> decompose_generic ~track_density g psi
+  in
+  {
+    psi;
+    core = core_arr;
+    kmax;
+    order;
+    mu_total;
+    best_residual_density = best_density;
+    best_residual_start = best_start;
+    residual_densities = residuals;
+  }
+
+let core_vertices t ~k =
+  let out = Dsd_util.Vec.Int.create () in
+  Array.iteri (fun v c -> if c >= k then Dsd_util.Vec.Int.push out v) t.core;
+  Dsd_util.Vec.Int.to_array out
+
+let kmax_core t = core_vertices t ~k:t.kmax
+
+let best_residual t =
+  let len = Array.length t.order - t.best_residual_start in
+  let vs = Array.sub t.order t.best_residual_start len in
+  Array.sort compare vs;
+  vs

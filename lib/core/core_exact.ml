@@ -1,0 +1,173 @@
+module G = Dsd_graph.Graph
+
+type prunings = { p1 : bool; p2 : bool; p3 : bool }
+
+let all_prunings = { p1 = true; p2 = true; p3 = true }
+let no_prunings = { p1 = false; p2 = false; p3 = false }
+
+type stats = {
+  iterations : int;
+  network_nodes : int list;
+  kmax : int;
+  decompose_s : float;
+  flow_s : float;
+  elapsed_s : float;
+}
+
+type result = {
+  subgraph : Density.subgraph;
+  stats : stats;
+}
+
+(* ceil with a guard against float noise pushing an exact integer up a
+   level; under-rounding is safe (a lower k keeps the CDS inside the
+   core by nestedness). *)
+let safe_ceil x = int_of_float (Float.ceil (x -. 1e-9))
+
+let run ?(prunings = all_prunings) ?(grouped = false) ?family g psi =
+  let t0 = Dsd_util.Timer.now_s () in
+  let p = psi.Dsd_pattern.Pattern.size in
+  let family =
+    match family with
+    | Some f -> f
+    | None -> Flow_build.auto_family psi ~grouped
+  in
+  let iterations = ref 0 in
+  let network_nodes = ref [] in
+  let flow_span = Dsd_util.Timer.Span.create () in
+  (* ---- Step 1: (k, Psi)-core decomposition, tracking rho' ---- *)
+  let decomp, decompose_s =
+    Dsd_util.Timer.time (fun () ->
+        Clique_core.decompose ~track_density:prunings.p1 g psi)
+  in
+  let kmax = decomp.Clique_core.kmax in
+  let finish best =
+    { subgraph = best;
+      stats =
+        { iterations = !iterations;
+          network_nodes = List.rev !network_nodes;
+          kmax;
+          decompose_s;
+          flow_s = Dsd_util.Timer.Span.total_s flow_span;
+          elapsed_s = Dsd_util.Timer.now_s () -. t0 } }
+  in
+  if decomp.Clique_core.mu_total = 0 then finish Density.empty
+  else begin
+    (* Seed the answer with the densest subgraph already witnessed so
+       an optimum equal to the lower bound survives the feasibility
+       skips below. *)
+    let seed_vertices =
+      if prunings.p1 then Clique_core.best_residual decomp
+      else Clique_core.kmax_core decomp
+    in
+    let best = ref (Density.of_vertices g psi seed_vertices) in
+    (* Theorem 1 lower bound, improved by Pruning1's rho'. *)
+    let l = ref (max (float_of_int kmax /. float_of_int p) !best.density) in
+    let k'' = ref (max 1 (safe_ceil !l)) in
+    (* ---- Pruning2: per-component densities of the core ---- *)
+    let core_set = Clique_core.core_vertices decomp ~k:!k'' in
+    let core_graph, core_map = G.induced g core_set in
+    let component_sets =
+      Dsd_graph.Traversal.component_members core_graph
+      |> List.map (Array.map (fun v -> core_map.(v)))
+    in
+    let components =
+      if prunings.p2 then begin
+        List.iter
+          (fun comp ->
+            let cand = Density.of_vertices g psi comp in
+            if cand.density > !best.density then best := cand)
+          component_sets;
+        l := max !l !best.density;
+        let k2 = max !k'' (safe_ceil !l) in
+        if k2 > !k'' then begin
+          k'' := k2;
+          (* Re-locate in the higher core. *)
+          let core_set = Clique_core.core_vertices decomp ~k:!k'' in
+          let core_graph, core_map = G.induced g core_set in
+          Dsd_graph.Traversal.component_members core_graph
+          |> List.map (Array.map (fun v -> core_map.(v)))
+        end
+        else component_sets
+      end
+      else component_sets
+    in
+    (* Restrict a component to vertices whose core number certifies
+       membership in the ceil(l)-core. *)
+    let shrink comp threshold =
+      Array.of_list
+        (List.filter
+           (fun v -> decomp.Clique_core.core.(v) >= threshold)
+           (Array.to_list comp))
+    in
+    let solve_network gc alpha ~instances =
+      incr iterations;
+      Dsd_util.Timer.Span.start flow_span;
+      let network = Flow_build.build family gc psi ~instances ~alpha in
+      network_nodes := network.node_count :: !network_nodes;
+      let s_side = Flow_build.solve network in
+      Dsd_util.Timer.Span.stop flow_span;
+      s_side
+    in
+    let process comp =
+      (* Line 6: if l has outgrown this core level, drop low-core
+         vertices before doing any flow work. *)
+      let comp =
+        if safe_ceil !l > !k'' then shrink comp (safe_ceil !l) else comp
+      in
+      if Array.length comp >= p then begin
+        let gc = ref (G.empty 0) in
+        let map = ref [||] in
+        let rebuild vs =
+          let sub, m = G.induced g vs in
+          gc := sub;
+          map := m
+        in
+        rebuild comp;
+        let instances = ref (Enumerate.instances !gc psi) in
+        let comp = ref comp in
+        (* Feasibility probe at alpha = l (lines 7-9). *)
+        let s0 = solve_network !gc !l ~instances:!instances in
+        if Array.length s0 > 0 then begin
+          (* Per-component upper bound: max core number inside. *)
+          let u =
+            ref
+              (float_of_int
+                 (Array.fold_left
+                    (fun acc v -> max acc decomp.Clique_core.core.(v))
+                    0 !comp))
+          in
+          let witness = ref (Array.map (fun v -> !map.(v)) s0) in
+          let gap () =
+            if prunings.p3 then Density.stop_gap (Array.length !comp)
+            else Density.stop_gap (G.n g)
+          in
+          while !u -. !l >= gap () do
+            let alpha = (!l +. !u) /. 2. in
+            let s_side = solve_network !gc alpha ~instances:!instances in
+            if Array.length s_side = 0 then u := alpha
+            else begin
+              witness := Array.map (fun v -> !map.(v)) s_side;
+              (* Optimisation 3: raise l, shrink the component (and so
+                 the next network) to the higher core. *)
+              if safe_ceil alpha > safe_ceil !l then begin
+                let smaller = shrink !comp (safe_ceil alpha) in
+                if Array.length smaller >= p
+                   && Array.length smaller < Array.length !comp
+                then begin
+                  comp := smaller;
+                  rebuild smaller;
+                  instances := Enumerate.instances !gc psi
+                end
+              end;
+              l := alpha
+            end
+          done;
+          let cand = Density.of_vertices g psi !witness in
+          if cand.density > !best.density then best := cand
+        end
+      end
+    in
+    List.iter process components;
+    finish !best
+  end

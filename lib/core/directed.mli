@@ -1,0 +1,32 @@
+(** Directed densest subgraph (Kannan-Vinay density; the paper's
+    related work [43, 10, 44]): find S, T ⊆ V (possibly overlapping)
+    maximising e(S, T) / sqrt(|S| |T|), where e(S, T) counts arcs from
+    S into T.
+
+    Khuller-Saha-style solution: for a fixed ratio guess c = |S|/|T|,
+    the relaxed objective e(S,T) - (g/2)(|S|/sqrt c + sqrt c |T|) is
+    cut-representable (an AND-gadget node per arc), lower-bounds
+    e - g sqrt(|S||T|) by AM-GM, and is tight when c is the optimum's
+    ratio.  [exact] sweeps every realisable ratio a/b (O(n^2) flows —
+    small graphs only); [approx ~eps] sweeps a (1+eps)-geometric grid,
+    giving a 1/sqrt(1+eps) approximation.  Every returned pair is
+    re-scored exactly, so reported densities are true densities. *)
+
+type result = {
+  s_side : int array;     (** S, sorted *)
+  t_side : int array;     (** T, sorted *)
+  density : float;        (** e(S,T) / sqrt(|S| |T|), exact *)
+  flows : int;            (** min-cut computations *)
+  elapsed_s : float;
+}
+
+(** [density g ~s ~t_side] evaluates the directed density of a pair. *)
+val density : Dsd_graph.Digraph.t -> s:int array -> t_side:int array -> float
+
+(** Exact optimum; O(n^2 log) min-cuts.
+    @raise Invalid_argument when the graph has more than [max_n]
+    vertices (default 64) — use {!approx} beyond that. *)
+val exact : ?max_n:int -> Dsd_graph.Digraph.t -> result
+
+(** [approx ~eps g]: density within factor 1/sqrt(1+eps) of optimal. *)
+val approx : ?eps:float -> Dsd_graph.Digraph.t -> result

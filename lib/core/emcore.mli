@@ -1,0 +1,19 @@
+(** EMcore baseline — in-memory adaptation of Cheng et al.'s top-down
+    external-memory core decomposition (ICDE'11; the paper's [13]),
+    stopped as soon as the classical kmax-core is known, exactly as
+    Section 8.1 adapts it for Table 4.
+
+    Vertices are ranked by degree (EMcore's upper bound, weaker than
+    CoreApp's core-number bound) and accumulated in fixed-fraction
+    blocks; each round re-decomposes the accumulated subgraph until no
+    remaining vertex's degree can reach the best core found.  Only the
+    edge pattern applies (EMcore predates clique-cores). *)
+
+type result = {
+  subgraph : Density.subgraph;  (** the classical kmax-core with edge density *)
+  kmax : int;
+  rounds : int;
+  elapsed_s : float;
+}
+
+val run : Dsd_graph.Graph.t -> result

@@ -1,0 +1,81 @@
+module G = Dsd_graph.Graph
+
+type stats = {
+  iterations : int;
+  last_network_nodes : int;
+  mu : int;
+  elapsed_s : float;
+}
+
+type result = {
+  subgraph : Density.subgraph;
+  stats : stats;
+}
+
+let run ?family g psi =
+  let t0 = Dsd_util.Timer.now_s () in
+  let n = G.n g in
+  let family =
+    match family with
+    | Some f -> f
+    | None -> Flow_build.auto_family psi ~grouped:false
+  in
+  let instances =
+    match family with
+    | Flow_build.Eds -> [||]   (* the EDS network needs no instance list *)
+    | _ -> Enumerate.instances g psi
+  in
+  let max_deg =
+    match family with
+    | Flow_build.Eds -> G.max_degree g
+    | _ ->
+      let deg = Array.make n 0 in
+      Array.iter
+        (fun inst -> Array.iter (fun v -> deg.(v) <- deg.(v) + 1) inst)
+        instances;
+      Array.fold_left max 0 deg
+  in
+  let mu =
+    match family with
+    | Flow_build.Eds -> G.m g
+    | _ -> Array.length instances
+  in
+  let finish best iterations last_nodes =
+    { subgraph = best;
+      stats =
+        { iterations;
+          last_network_nodes = last_nodes;
+          mu;
+          elapsed_s = Dsd_util.Timer.now_s () -. t0 } }
+  in
+  if n = 0 || mu = 0 then finish Density.empty 0 0
+  else begin
+    (* Algorithm 1 lines 1-3: l = 0, u = max clique-degree; stop when
+       the interval is below the minimal density gap. *)
+    let l = ref 0. and u = ref (float_of_int max_deg) in
+    let gap = Density.stop_gap n in
+    let best_vertices = ref [||] in
+    let iterations = ref 0 in
+    let last_nodes = ref 0 in
+    while !u -. !l >= gap do
+      incr iterations;
+      let alpha = (!l +. !u) /. 2. in
+      let network = Flow_build.build family g psi ~instances ~alpha in
+      last_nodes := network.node_count;
+      let s_side = Flow_build.solve network in
+      if Array.length s_side = 0 then u := alpha
+      else begin
+        l := alpha;
+        best_vertices := s_side
+      end
+    done;
+    let best =
+      if Array.length !best_vertices = 0 then
+        (* The optimum equals the trivial lower bound only when every
+           density is 0, excluded above; the remaining corner is a
+           single dense component found at the first step. *)
+        Density.empty
+      else Density.of_vertices g psi !best_vertices
+    in
+    finish best !iterations !last_nodes
+  end

@@ -1,0 +1,26 @@
+(** Exact — Algorithm 1: densest-subgraph binary search over min-cuts
+    on the whole graph.  With [~family:Pds] this is PExact
+    (Algorithm 8); the dispatch is automatic by pattern kind.
+
+    This is the paper's baseline exact method: loose bounds
+    [0, max deg(v, Psi)], network rebuilt on all of G each iteration.
+    CoreExact ({!Core_exact}) is the contribution that beats it. *)
+
+type stats = {
+  iterations : int;        (** binary-search steps *)
+  last_network_nodes : int;
+  mu : int;                (** instance count of the input graph *)
+  elapsed_s : float;
+}
+
+type result = {
+  subgraph : Density.subgraph;
+  stats : stats;
+}
+
+(** [run g psi] returns the exact densest subgraph w.r.t. Psi-density.
+    [family] overrides the flow-network construction (defaults to the
+    paper's choice for the pattern kind). *)
+val run :
+  ?family:Flow_build.family ->
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> result

@@ -1,0 +1,193 @@
+module G = Dsd_graph.Graph
+module P = Dsd_pattern.Pattern
+module F = Dsd_flow.Flow_network
+
+type t = {
+  net : F.t;
+  source : int;
+  sink : int;
+  n_vertices : int;
+  node_count : int;
+}
+
+let vertex_node v = v + 1
+
+let solve t =
+  let _flow, side = Dsd_flow.Min_cut.solve t.net ~s:t.source ~t:t.sink in
+  let out = Dsd_util.Vec.Int.create () in
+  for v = 0 to t.n_vertices - 1 do
+    if side.(vertex_node v) then Dsd_util.Vec.Int.push out v
+  done;
+  Dsd_util.Vec.Int.to_array out
+
+let eds_network g ~alpha =
+  let n = G.n g in
+  let m = float_of_int (G.m g) in
+  let size = n + 2 in
+  let net = F.create size in
+  let source = 0 and sink = size - 1 in
+  for v = 0 to n - 1 do
+    ignore (F.add_edge net ~src:source ~dst:(vertex_node v) ~cap:m);
+    let cap = m +. (2. *. alpha) -. float_of_int (G.degree g v) in
+    ignore (F.add_edge net ~src:(vertex_node v) ~dst:sink ~cap:(max cap 0.))
+  done;
+  G.iter_edges g ~f:(fun u v ->
+      ignore (F.add_edge net ~src:(vertex_node u) ~dst:(vertex_node v) ~cap:1.);
+      ignore (F.add_edge net ~src:(vertex_node v) ~dst:(vertex_node u) ~cap:1.));
+  { net; source; sink; n_vertices = n; node_count = size }
+
+(* Shared degree computation from an instance list. *)
+let degrees_of_instances n instances =
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun inst -> Array.iter (fun v -> deg.(v) <- deg.(v) + 1) inst)
+    instances;
+  deg
+
+let clique_network_pre ?(pinned = [||]) g ~h ~instances ~alpha =
+  let n = G.n g in
+  (* Node each (h-1)-subset of some h-clique.  Keyed by the sorted
+     member array. *)
+  let sub_ids : (int array, int) Hashtbl.t = Hashtbl.create 256 in
+  let next = ref 0 in
+  let arcs = ref [] in
+  (* For every h-clique and every member v: arc v -> (clique minus v). *)
+  Array.iter
+    (fun inst ->
+      for i = 0 to h - 1 do
+        let v = inst.(i) in
+        let psi = Array.make (h - 1) 0 in
+        let k = ref 0 in
+        for j = 0 to h - 1 do
+          if j <> i then begin
+            psi.(!k) <- inst.(j);
+            incr k
+          end
+        done;
+        let id =
+          match Hashtbl.find_opt sub_ids psi with
+          | Some id -> id
+          | None ->
+            let id = !next in
+            incr next;
+            Hashtbl.add sub_ids psi id;
+            id
+        in
+        arcs := (v, id) :: !arcs
+      done)
+    instances;
+  let lambda = !next in
+  let size = n + lambda + 2 in
+  let net = F.create size in
+  let source = 0 and sink = size - 1 in
+  let sub_node id = n + 1 + id in
+  let deg = degrees_of_instances n instances in
+  for v = 0 to n - 1 do
+    if deg.(v) > 0 then
+      ignore (F.add_edge net ~src:source ~dst:(vertex_node v)
+                ~cap:(float_of_int deg.(v)));
+    ignore (F.add_edge net ~src:(vertex_node v) ~dst:sink
+              ~cap:(alpha *. float_of_int h))
+  done;
+  Array.iter
+    (fun q ->
+      ignore (F.add_edge net ~src:source ~dst:(vertex_node q) ~cap:infinity))
+    pinned;
+  List.iter
+    (fun (v, id) ->
+      ignore (F.add_edge net ~src:(vertex_node v) ~dst:(sub_node id) ~cap:1.))
+    !arcs;
+  Hashtbl.iter
+    (fun psi id ->
+      Array.iter
+        (fun u ->
+          ignore
+            (F.add_edge net ~src:(sub_node id) ~dst:(vertex_node u)
+               ~cap:infinity))
+        psi)
+    sub_ids;
+  { net; source; sink; n_vertices = n; node_count = size }
+
+let clique_network g ~h ~alpha =
+  clique_network_pre g ~h ~instances:(Dsd_clique.Kclist.list g ~h) ~alpha
+
+let pds_network_generic ?(pinned = [||]) ~grouped g (psi : P.t) ~instances ~alpha =
+  let n = G.n g in
+  let p = psi.size in
+  (* construct+ groups instances sharing a vertex set; the ungrouped
+     network is the degenerate case where every group has size 1. *)
+  let groups =
+    if grouped then begin
+      let tbl : (int array, int) Hashtbl.t = Hashtbl.create 256 in
+      Array.iter
+        (fun inst ->
+          let c = try Hashtbl.find tbl inst with Not_found -> 0 in
+          Hashtbl.replace tbl inst (c + 1))
+        instances;
+      Hashtbl.fold (fun members count acc -> (members, count) :: acc) tbl []
+      |> Array.of_list
+    end
+    else Array.map (fun inst -> (inst, 1)) instances
+  in
+  let lambda = Array.length groups in
+  let size = n + lambda + 2 in
+  let net = F.create size in
+  let source = 0 and sink = size - 1 in
+  let group_node id = n + 1 + id in
+  let deg = degrees_of_instances n instances in
+  for v = 0 to n - 1 do
+    if deg.(v) > 0 then
+      ignore (F.add_edge net ~src:source ~dst:(vertex_node v)
+                ~cap:(float_of_int deg.(v)));
+    ignore (F.add_edge net ~src:(vertex_node v) ~dst:sink
+              ~cap:(alpha *. float_of_int p))
+  done;
+  Array.iter
+    (fun q ->
+      ignore (F.add_edge net ~src:source ~dst:(vertex_node q) ~cap:infinity))
+    pinned;
+  Array.iteri
+    (fun id (members, count) ->
+      let cf = float_of_int count in
+      Array.iter
+        (fun v ->
+          ignore (F.add_edge net ~src:(vertex_node v) ~dst:(group_node id) ~cap:cf);
+          ignore
+            (F.add_edge net ~src:(group_node id) ~dst:(vertex_node v)
+               ~cap:(cf *. float_of_int (p - 1))))
+        members)
+    groups;
+  { net; source; sink; n_vertices = n; node_count = size }
+
+let pds_network_pre ?pinned g psi ~instances ~alpha =
+  pds_network_generic ?pinned ~grouped:false g psi ~instances ~alpha
+
+let pds_network g psi ~alpha =
+  pds_network_pre g psi ~instances:(Enumerate.instances g psi) ~alpha
+
+let pds_network_grouped_pre ?pinned g psi ~instances ~alpha =
+  pds_network_generic ?pinned ~grouped:true g psi ~instances ~alpha
+
+let pds_network_grouped g psi ~alpha =
+  pds_network_grouped_pre g psi ~instances:(Enumerate.instances g psi) ~alpha
+
+type family = Eds | Clique_flow | Pds | Pds_grouped
+
+let auto_family (psi : P.t) ~grouped =
+  match psi.kind with
+  | P.Clique when psi.size = 2 -> Eds
+  | P.Clique -> Clique_flow
+  | P.Star _ | P.Cycle4 | P.Generic -> if grouped then Pds_grouped else Pds
+
+let build ?pinned family g (psi : P.t) ~instances ~alpha =
+  match family with
+  | Eds ->
+    (match pinned with
+     | None | Some [||] -> eds_network g ~alpha
+     | Some _ ->
+       (* The Goldberg construction has no pinning analysis; fall back
+          to the generic h = 2 network, which supports it. *)
+       clique_network_pre ?pinned g ~h:2 ~instances:(Array.map (fun (u, v) -> [| u; v |]) (G.edges g)) ~alpha)
+  | Clique_flow -> clique_network_pre ?pinned g ~h:psi.size ~instances ~alpha
+  | Pds -> pds_network_pre ?pinned g psi ~instances ~alpha
+  | Pds_grouped -> pds_network_grouped_pre ?pinned g psi ~instances ~alpha

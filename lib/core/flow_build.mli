@@ -1,0 +1,79 @@
+(** Flow-network constructions for the min-cut-based exact algorithms.
+
+    Four builders:
+    - {!eds_network}: Goldberg's simplified network for edge density
+      (the [32] construction quoted after Algorithm 1);
+    - {!clique_network}: Algorithm 1 lines 5-15 — source, vertex nodes,
+      (h-1)-clique nodes, sink.  (h-1)-cliques that extend to no
+      h-clique are omitted: they can never lie on the source side and
+      only pad the network;
+    - {!pds_network}: PExact's construction (Algorithm 8) with one node
+      per pattern instance;
+    - {!pds_network_grouped}: construct+ (Algorithm 7), grouping
+      instances that share a vertex set; Lemma 11 proves the min-cut
+      capacity is unchanged.
+
+    In every network: node 0 is the source, node 1 + i is data vertex
+    i, instance/clique nodes follow, and the last node is the sink.
+    After a min-cut, [dense_side_vertices] decodes S \ {s} back to data
+    vertices (Algorithm 1 line 18). *)
+
+type t = {
+  net : Dsd_flow.Flow_network.t;
+  source : int;
+  sink : int;
+  n_vertices : int;
+  node_count : int;   (** |V_F|, the Figure 9 "size of flow network" *)
+}
+
+(** [solve t] computes the min cut and returns the data vertices on the
+    source side (empty iff S = {s}). *)
+val solve : t -> int array
+
+val eds_network : Dsd_graph.Graph.t -> alpha:float -> t
+
+val clique_network : Dsd_graph.Graph.t -> h:int -> alpha:float -> t
+
+(** [clique_network_pre] reuses h-clique instances enumerated once per
+    component across the binary-search iterations.  [pinned] vertices
+    get infinite-capacity source arcs, forcing them onto the source
+    side of every min cut (the query-vertex variant, Section 6.3). *)
+val clique_network_pre :
+  ?pinned:int array ->
+  Dsd_graph.Graph.t -> h:int -> instances:int array array -> alpha:float -> t
+
+val pds_network :
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> alpha:float -> t
+
+val pds_network_pre :
+  ?pinned:int array ->
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> instances:int array array ->
+  alpha:float -> t
+
+val pds_network_grouped :
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> alpha:float -> t
+
+val pds_network_grouped_pre :
+  ?pinned:int array ->
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> instances:int array array ->
+  alpha:float -> t
+
+(** Which exact-network family an automatic solver should use for this
+    pattern: cliques get the clique/EDS networks, general patterns the
+    PDS ones. *)
+type family = Eds | Clique_flow | Pds | Pds_grouped
+
+(** [auto_family psi ~grouped] follows the paper's defaults:
+    h = 2 -> [Eds], h-clique -> [Clique_flow], pattern -> [Pds] (or
+    [Pds_grouped] when [grouped]). *)
+val auto_family : Dsd_pattern.Pattern.t -> grouped:bool -> family
+
+(** [build family g psi ~instances ~alpha] dispatches on the family;
+    [instances] must be the Psi-instances of [g] (ignored by [Eds]).
+    For [Clique_flow] they are the h-cliques.  With a non-empty
+    [pinned] set, [Eds] falls back to the generic h = 2 network (the
+    Goldberg construction has no pinning analysis). *)
+val build :
+  ?pinned:int array ->
+  family -> Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t ->
+  instances:int array array -> alpha:float -> t

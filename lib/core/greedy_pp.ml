@@ -1,0 +1,72 @@
+module G = Dsd_graph.Graph
+
+type result = {
+  subgraph : Density.subgraph;
+  rounds : int;
+  densities : float array;
+  elapsed_s : float;
+}
+
+let run ?(rounds = 8) g psi =
+  if rounds < 1 then invalid_arg "Greedy_pp.run: rounds must be >= 1";
+  let t0 = Dsd_util.Timer.now_s () in
+  let n = G.n g in
+  let instances = Enumerate.instances g psi in
+  let mu_total = Array.length instances in
+  if mu_total = 0 || n = 0 then
+    { subgraph = Density.empty;
+      rounds;
+      densities = Array.make rounds 0.;
+      elapsed_s = Dsd_util.Timer.now_s () -. t0 }
+  else begin
+    let store = Dsd_clique.Instance_store.create ~n instances in
+    let loads = Array.make n 0 in
+    let best = ref Density.empty in
+    let densities = Array.make rounds 0. in
+    let order = Array.make n 0 in
+    for round = 0 to rounds - 1 do
+      if round > 0 then Dsd_clique.Instance_store.reset store;
+      (* Loads grow across rounds; degrees are bounded by mu, so keys
+         need the lazy heap, not a bucket array. *)
+      let heap = Dsd_util.Lazy_heap.create ~n in
+      for v = 0 to n - 1 do
+        Dsd_util.Lazy_heap.add heap ~item:v
+          ~key:(loads.(v) + Dsd_clique.Instance_store.degree store v)
+      done;
+      let mu_live = ref mu_total in
+      let best_density = ref (float_of_int mu_total /. float_of_int n) in
+      let best_start = ref 0 in
+      for i = 0 to n - 1 do
+        match Dsd_util.Lazy_heap.pop_min heap with
+        | None -> assert false
+        | Some (v, _key) ->
+          order.(i) <- v;
+          let deg_v = Dsd_clique.Instance_store.degree store v in
+          loads.(v) <- loads.(v) + deg_v;
+          let killed =
+            Dsd_clique.Instance_store.kill_vertex store v ~on_comember:(fun u ->
+                if Dsd_util.Lazy_heap.mem heap u then
+                  Dsd_util.Lazy_heap.update heap ~item:u
+                    ~key:(loads.(u) + Dsd_clique.Instance_store.degree store u))
+          in
+          mu_live := !mu_live - killed;
+          if i < n - 1 then begin
+            let d = float_of_int !mu_live /. float_of_int (n - i - 1) in
+            if d > !best_density then begin
+              best_density := d;
+              best_start := i + 1
+            end
+          end
+      done;
+      if !best_density > !best.Density.density then begin
+        let vs = Array.sub order !best_start (n - !best_start) in
+        Array.sort compare vs;
+        best := { Density.vertices = vs; density = !best_density }
+      end;
+      densities.(round) <- !best.Density.density
+    done;
+    { subgraph = !best;
+      rounds;
+      densities;
+      elapsed_s = Dsd_util.Timer.now_s () -. t0 }
+  end

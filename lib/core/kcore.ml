@@ -1,0 +1,16 @@
+type t = Dsd_graph.Degeneracy.t
+
+let decompose g = Dsd_graph.Degeneracy.compute g
+
+let core_number (t : t) v = t.core.(v)
+let core_numbers (t : t) = Array.copy t.core
+let kmax (t : t) = t.degeneracy
+
+let k_core (t : t) ~k =
+  let out = Dsd_util.Vec.Int.create () in
+  Array.iteri
+    (fun v c -> if c >= k then Dsd_util.Vec.Int.push out v)
+    t.core;
+  Dsd_util.Vec.Int.to_array out
+
+let kmax_core t = k_core t ~k:(kmax t)

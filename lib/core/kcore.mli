@@ -1,0 +1,23 @@
+(** Classical k-core decomposition (Definition 5; Batagelj-Zaversnik).
+
+    Thin wrapper over {!Dsd_graph.Degeneracy} exposing core-number
+    queries in the vocabulary of the paper. *)
+
+type t
+
+val decompose : Dsd_graph.Graph.t -> t
+
+(** [core_number t v]. *)
+val core_number : t -> int -> int
+
+val core_numbers : t -> int array
+
+(** Maximum core number (the degeneracy). *)
+val kmax : t -> int
+
+(** [k_core t g ~k] is the vertex set of the k-core: vertices with core
+    number >= k (may be empty; the k-core is their induced subgraph). *)
+val k_core : t -> k:int -> int array
+
+(** [kmax_core t] = [k_core t ~k:(kmax t)]. *)
+val kmax_core : t -> int array

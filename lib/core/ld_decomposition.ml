@@ -1,0 +1,133 @@
+module G = Dsd_graph.Graph
+module P = Dsd_pattern.Pattern
+
+type level = {
+  vertices : int array;
+  marginal_density : float;
+  prefix_size : int;
+}
+
+type t = {
+  levels : level list;
+  iterations : int;
+  elapsed_s : float;
+}
+
+(* Count Psi-instances inside a vertex set (by induction; the sets only
+   grow along the chain so this is called once per level). *)
+let mu_of g psi vs =
+  if Array.length vs = 0 then 0
+  else begin
+    let sub, _ = G.induced g vs in
+    Enumerate.count sub psi
+  end
+
+let family_for (psi : P.t) =
+  match psi.kind with
+  | P.Clique -> Flow_build.Clique_flow
+  | P.Star _ | P.Cycle4 | P.Generic -> Flow_build.Pds_grouped
+
+let decompose g (psi : P.t) =
+  let t0 = Dsd_util.Timer.now_s () in
+  let n = G.n g in
+  let iterations = ref 0 in
+  let family = family_for psi in
+  let instances = Enumerate.instances g psi in
+  let max_deg =
+    let deg = Array.make (max 1 n) 0 in
+    Array.iter
+      (fun inst -> Array.iter (fun v -> deg.(v) <- deg.(v) + 1) inst)
+      instances;
+    Array.fold_left max 0 deg
+  in
+  let in_b = Array.make (max 1 n) false in
+  let b = ref [||] in         (* current prefix B, sorted *)
+  let mu_b = ref 0 in
+  let levels = ref [] in
+  let gap = Density.stop_gap n in
+  let finished = ref (n = 0) in
+  (* Marginal densities strictly decrease along the chain, so each
+     level's search can start its upper bound at the previous level's
+     value. *)
+  let upper = ref (float_of_int (max 1 max_deg)) in
+  while not !finished do
+    (* Find max over S ⊋ B of (mu(S) - mu(B)) / (|S| - |B|) with its
+       witness, by binary search on the marginal alpha: the pinned min
+       cut maximises f(S) = mu(S) - alpha |S|, and marginal > alpha for
+       some S iff f(S_max) > f(B). *)
+    let pinned = Array.copy !b in
+    let marginal s_mu s_card =
+      if s_card = Array.length !b then 0.
+      else
+        float_of_int (s_mu - !mu_b)
+        /. float_of_int (s_card - Array.length !b)
+    in
+    let best_witness = ref [||] in
+    let best_marginal = ref 0. in
+    let l = ref 0. and u = ref !upper in
+    while !u -. !l >= gap do
+      incr iterations;
+      let alpha = (!l +. !u) /. 2. in
+      let network = Flow_build.build ~pinned family g psi ~instances ~alpha in
+      let side = Flow_build.solve network in
+      (* The pinned network's source side always contains B; vertices
+         with zero degree and alpha = 0 edge cases are handled by the
+         cardinality check. *)
+      let s_mu = mu_of g psi side in
+      let m = marginal s_mu (Array.length side) in
+      if Array.length side > Array.length !b && m > alpha then begin
+        l := m;
+        best_marginal := m;
+        best_witness := side
+      end
+      else u := alpha
+    done;
+    if Array.length !best_witness = 0 then begin
+      (* No strictly positive marginal remains: the rest of the graph
+         is one final level of marginal density 0 (or the chain is
+         complete). *)
+      let rest = ref [] in
+      for v = n - 1 downto 0 do
+        if not in_b.(v) then rest := v :: !rest
+      done;
+      (match !rest with
+       | [] -> ()
+       | rest ->
+         let vs = Array.of_list rest in
+         levels :=
+           { vertices = vs;
+             marginal_density = marginal (mu_of g psi (Array.init n Fun.id)) n;
+             prefix_size = n }
+           :: !levels);
+      finished := true
+    end
+    else begin
+      let s = !best_witness in
+      let xs = Array.of_list (List.filter (fun v -> not in_b.(v)) (Array.to_list s)) in
+      Array.sort compare xs;
+      Array.iter (fun v -> in_b.(v) <- true) xs;
+      levels :=
+        { vertices = xs;
+          marginal_density = !best_marginal;
+          prefix_size = Array.length s }
+        :: !levels;
+      b := Array.copy s;
+      Array.sort compare !b;
+      mu_b := mu_of g psi s;
+      upper := !best_marginal;
+      if Array.length s = n then finished := true
+    end
+  done;
+  { levels = List.rev !levels;
+    iterations = !iterations;
+    elapsed_s = Dsd_util.Timer.now_s () -. t0 }
+
+let prefix t i =
+  let rec take acc k = function
+    | [] -> acc
+    | _ when k = 0 -> acc
+    | level :: rest -> take (Array.to_list level.vertices @ acc) (k - 1) rest
+  in
+  let vs = Array.of_list (take [] i t.levels) in
+  Array.sort compare vs;
+  vs

@@ -1,0 +1,30 @@
+(** Density-friendly (locally-dense) graph decomposition — Tatti &
+    Gionis, WWW'15; Danisch et al., WWW'17 (the paper's related work
+    [64, 18]), generalised from edges to any Psi.
+
+    Produces the chain ∅ = B_0 ⊂ B_1 ⊂ ... ⊂ B_t = V where each
+    augmentation X_i = B_i \ B_{i-1} maximises the *marginal* density
+    (mu(B_i) - mu(B_{i-1})) / |X_i|; the marginal densities are
+    strictly decreasing and B_1 is exactly the densest subgraph.  Each
+    level is found by the same pinned min-cut binary search as the
+    query variant: with B pinned to the source side, the min cut
+    maximises mu(S) - alpha |S| over S ⊇ B. *)
+
+type level = {
+  vertices : int array;       (** the new vertices X_i of this level, sorted *)
+  marginal_density : float;   (** (mu(B_i) - mu(B_{i-1})) / |X_i| *)
+  prefix_size : int;          (** |B_i| *)
+}
+
+type t = {
+  levels : level list;        (** outermost-first: head is B_1 *)
+  iterations : int;           (** total min-cut computations *)
+  elapsed_s : float;
+}
+
+(** [decompose g psi].  The union of all level vertex sets is V; the
+    first level is the Psi-densest subgraph of [g]. *)
+val decompose : Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> t
+
+(** [prefix t i] is B_i (the union of the first [i] levels), sorted. *)
+val prefix : t -> int -> int array

@@ -1,0 +1,19 @@
+(** Nucleus baseline — local/AND-style k-(1,h) nucleus decomposition
+    (Sariyuce, Seshadhri, Pinar, PVLDB'18; the paper's [59] baseline,
+    run single-threaded as in Section 8).
+
+    Every vertex starts at its Psi-degree and repeatedly applies the
+    h-index update over the minimum values of its instances until a
+    fixpoint; the fixpoint equals the (k, Psi)-core numbers, so the
+    (kmax, Psi)-core can be read off.  Generalised to arbitrary
+    patterns through the shared instance store. *)
+
+type result = {
+  subgraph : Density.subgraph;  (** the (kmax, Psi)-core *)
+  core : int array;             (** converged clique-core numbers *)
+  kmax : int;
+  updates : int;                (** vertex re-evaluations until fixpoint *)
+  elapsed_s : float;
+}
+
+val run : Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> result

@@ -1,0 +1,1 @@
+let run g psi = Exact.run ~family:Flow_build.Pds g psi

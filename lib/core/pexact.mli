@@ -1,0 +1,6 @@
+(** PExact — Algorithm 8: the exact PDS baseline.  {!Exact.run} with
+    the one-node-per-instance pattern network forced, regardless of
+    whether the pattern happens to be a clique (useful for
+    benchmarking the constructions against each other). *)
+
+val run : Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> Exact.result

@@ -1,0 +1,31 @@
+(** The query-vertex variant of CDS (Section 6.3): given query vertices
+    Q, find the subgraph containing all of Q with the highest
+    Psi-density.
+
+    Following the paper's sketch: decompose (k, Psi)-cores, let x be
+    the minimum clique-core number among Q — every subgraph containing
+    Q lives inside the (x', Psi)-core for suitable x', so the flow
+    binary search runs on that core instead of all of G.  The flow
+    network is the standard one with the query vertices pinned to the
+    source side (infinite-capacity source arcs), the exact-CDS
+    framework of Tsourakakis [65] that the paper adapts.
+
+    Connectivity caveat: as in [65], the optimum is the densest vertex
+    set containing Q; it need not be connected through Q. *)
+
+type result = {
+  subgraph : Density.subgraph;   (** contains all query vertices *)
+  iterations : int;
+  elapsed_s : float;
+}
+
+(** [run g psi ~query] solves the variant exactly.
+    @raise Invalid_argument if [query] is empty or out of range. *)
+val run :
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> query:int array -> result
+
+(** [run_naive g psi ~query] is the same binary search without the core
+    restriction (the [65] baseline; used for tests and the ablation
+    bench). *)
+val run_naive :
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> query:int array -> result

@@ -1,0 +1,27 @@
+(** Randomised sampling approximation in the style of Mitzenmacher et
+    al. [49], with the core-based speedup the paper's conclusion lists
+    as future work ("exploit our core-based techniques to speed up the
+    randomized approximation algorithm in [49]").
+
+    Each Psi-instance is kept independently with probability [p]; the
+    peeling approximation runs on the sampled instance hypergraph, and
+    the returned vertex set is re-scored against the *full* instance
+    set, so the reported density is exact even though the search was
+    randomised.  With [core_first] (the future-work idea), instances
+    are only enumerated inside the (ceil(kmax / |V_Psi|), Psi)-core,
+    which contains the CDS (Lemma 7 with Theorem 1's lower bound), so
+    the restriction loses nothing while shrinking the sample space. *)
+
+type result = {
+  subgraph : Density.subgraph;   (** true (unsampled) density *)
+  sampled_instances : int;
+  total_instances : int;
+  elapsed_s : float;
+}
+
+(** [run ~seed ~p g psi] with sampling probability [p] in (0, 1];
+    [core_first] defaults to [true].
+    @raise Invalid_argument on [p] outside (0, 1]. *)
+val run :
+  ?core_first:bool -> seed:int -> p:float ->
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> result

@@ -1,0 +1,48 @@
+module G = Dsd_graph.Graph
+module P = Dsd_pattern.Pattern
+
+type result = {
+  subgraph : Density.subgraph;
+  passes : int;
+  elapsed_s : float;
+}
+
+let run ?(eps = 0.1) g (psi : P.t) =
+  if not (eps > 0.) then invalid_arg "Streaming.run: eps must be positive";
+  let t0 = Dsd_util.Timer.now_s () in
+  let p = float_of_int psi.size in
+  let best = ref Density.empty in
+  let passes = ref 0 in
+  let current = ref (Array.init (G.n g) Fun.id) in
+  let continue_ = ref (G.n g > 0) in
+  while !continue_ do
+    incr passes;
+    let sub, map = G.induced g !current in
+    let mu = Enumerate.count sub psi in
+    if mu = 0 then continue_ := false
+    else begin
+      let rho = float_of_int mu /. float_of_int (G.n sub) in
+      if rho > !best.Density.density then begin
+        let vs = Array.copy !current in
+        Array.sort compare vs;
+        best := { Density.vertices = vs; density = rho }
+      end;
+      (* One pass: drop everything at or below the threshold degree. *)
+      let deg = Enumerate.degrees sub psi in
+      let threshold = p *. (1. +. eps) *. rho in
+      let survivors = Dsd_util.Vec.Int.create () in
+      Array.iteri
+        (fun v d ->
+          if float_of_int d > threshold then
+            Dsd_util.Vec.Int.push survivors map.(v))
+        deg;
+      let next = Dsd_util.Vec.Int.to_array survivors in
+      if Array.length next = Array.length !current then
+        (* No progress can only happen on a Psi-regular remainder; it
+           is itself the final candidate. *)
+        continue_ := false
+      else current := next;
+      if Array.length !current = 0 then continue_ := false
+    end
+  done;
+  { subgraph = !best; passes = !passes; elapsed_s = Dsd_util.Timer.now_s () -. t0 }

@@ -1,0 +1,24 @@
+(** Bahmani-Kumar-Vassilvitskii streaming/MapReduce approximation
+    (PVLDB'12 — the paper's reference [6] baseline).
+
+    O(log n / eps) sequential passes over the graph; each pass deletes
+    every vertex whose current Psi-degree is at most
+    |V_Psi| * (1 + eps) * rho(current).  The best candidate set across
+    passes is a 1 / (|V_Psi| (1 + eps))-approximation: the first
+    optimal vertex deleted certifies that the surviving set was already
+    nearly optimal (the argument of Lemma 4 applied per pass).
+
+    Each pass re-derives degrees from the graph alone — no state beyond
+    the surviving vertex set — which is what makes the algorithm
+    streamable; we execute the passes in memory. *)
+
+type result = {
+  subgraph : Density.subgraph;
+  passes : int;
+  elapsed_s : float;
+}
+
+(** [run ?eps g psi] (default eps = 0.1).
+    @raise Invalid_argument if [eps <= 0]. *)
+val run :
+  ?eps:float -> Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> result

@@ -1,0 +1,115 @@
+module G = Dsd_graph.Graph
+
+type t = {
+  n : int;
+  edge_u : int array;        (* edge id -> smaller endpoint *)
+  edge_v : int array;
+  truss : int array;         (* edge id -> truss number *)
+  edge_ids : (int, int) Hashtbl.t;   (* encoded (u,v) -> edge id *)
+  kmax : int;
+}
+
+let encode n u v = (min u v * n) + max u v
+
+let decompose g =
+  let n = G.n g in
+  let m = G.m g in
+  let edge_u = Array.make (max 1 m) 0 in
+  let edge_v = Array.make (max 1 m) 0 in
+  let edge_ids = Hashtbl.create (2 * m) in
+  let next = ref 0 in
+  G.iter_edges g ~f:(fun u v ->
+      edge_u.(!next) <- u;
+      edge_v.(!next) <- v;
+      Hashtbl.replace edge_ids (encode n u v) !next;
+      incr next);
+  let alive = Bytes.make (max 1 m) '\001' in
+  let edge_id u v = Hashtbl.find_opt edge_ids (encode n u v) in
+  let support = Array.make (max 1 m) 0 in
+  (* Initial supports: common-neighbour counts via sorted merges. *)
+  let common u v f =
+    let nu = G.neighbors g u and nv = G.neighbors g v in
+    let i = ref 0 and j = ref 0 in
+    while !i < Array.length nu && !j < Array.length nv do
+      let x = nu.(!i) and y = nv.(!j) in
+      if x = y then begin
+        f x;
+        incr i;
+        incr j
+      end
+      else if x < y then incr i
+      else incr j
+    done
+  in
+  for e = 0 to m - 1 do
+    let c = ref 0 in
+    common edge_u.(e) edge_v.(e) (fun _ -> incr c);
+    support.(e) <- !c
+  done;
+  let max_support = Array.fold_left max 1 support in
+  let queue = Dsd_util.Bucket_queue.create ~n:(max 1 m) ~max_key:max_support in
+  for e = 0 to m - 1 do
+    Dsd_util.Bucket_queue.add queue ~item:e ~key:support.(e)
+  done;
+  let truss = Array.make (max 1 m) 2 in
+  let run_max = ref 0 in
+  for _ = 1 to m do
+    match Dsd_util.Bucket_queue.pop_min queue with
+    | None -> assert false
+    | Some (e, s) ->
+      if s > !run_max then run_max := s;
+      truss.(e) <- !run_max + 2;
+      Bytes.set alive e '\000';
+      let u = edge_u.(e) and v = edge_v.(e) in
+      common u v (fun w ->
+          (* The triangle (u, v, w) dies with e; both side edges lose
+             one support if still queued. *)
+          match (edge_id u w, edge_id v w) with
+          | Some e1, Some e2 ->
+            if Bytes.get alive e1 = '\001' && Bytes.get alive e2 = '\001'
+            then begin
+              List.iter
+                (fun ei ->
+                  if Dsd_util.Bucket_queue.mem queue ei then begin
+                    let k = Dsd_util.Bucket_queue.key queue ei in
+                    if k > s then
+                      Dsd_util.Bucket_queue.update queue ~item:ei ~key:(k - 1)
+                  end)
+                [ e1; e2 ]
+            end
+          | _ -> assert false)
+  done;
+  { n;
+    edge_u;
+    edge_v;
+    truss;
+    edge_ids;
+    kmax = (if m = 0 then 0 else !run_max + 2) }
+
+let truss_number t ~u ~v =
+  match Hashtbl.find_opt t.edge_ids (encode t.n u v) with
+  | Some e -> t.truss.(e)
+  | None -> raise Not_found
+
+let kmax t = t.kmax
+
+let k_truss t ~k =
+  let out = ref [] in
+  Array.iteri
+    (fun e tn -> if tn >= k then out := (t.edge_u.(e), t.edge_v.(e)) :: !out)
+    t.truss;
+  Array.of_list (List.rev !out)
+
+let max_truss_subgraph g t =
+  if t.kmax = 0 then Density.empty
+  else begin
+    let edges = k_truss t ~k:t.kmax in
+    let vs = Hashtbl.create 16 in
+    Array.iter
+      (fun (u, v) ->
+        Hashtbl.replace vs u ();
+        Hashtbl.replace vs v ())
+      edges;
+    let members = Hashtbl.fold (fun v () acc -> v :: acc) vs [] in
+    Density.of_vertices g Dsd_pattern.Pattern.edge (Array.of_list members)
+  end

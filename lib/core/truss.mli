@@ -1,0 +1,27 @@
+(** k-truss decomposition (Cohen 2008; the paper's related-work family
+    [15, 37]): the k-truss is the largest subgraph in which every edge
+    lies in at least k - 2 triangles.
+
+    Included as a comparison point for the dense-subgraph models of
+    Section 2: trusses are cohesive but optimise support, not density —
+    the example bench contrasts the max-truss with the CDS.  Classic
+    edge-support peeling with a bucket queue, O(m^1.5). *)
+
+type t
+
+val decompose : Dsd_graph.Graph.t -> t
+
+(** [truss_number t ~u ~v] of an existing edge; the largest k whose
+    k-truss contains it.
+    @raise Not_found if (u, v) is not an edge. *)
+val truss_number : t -> u:int -> v:int -> int
+
+(** Maximum truss number (>= 2 whenever the graph has an edge). *)
+val kmax : t -> int
+
+(** [k_truss t ~k] is the edge set of the k-truss (pairs u < v). *)
+val k_truss : t -> k:int -> (int * int) array
+
+(** [max_truss_subgraph g t] is the vertex set spanned by the
+    kmax-truss with its edge density. *)
+val max_truss_subgraph : Dsd_graph.Graph.t -> t -> Density.subgraph

@@ -1,0 +1,171 @@
+module G = Dsd_graph.Graph
+
+type group =
+  | Small
+  | Large
+  | Random
+  | Extra
+  | Case_study
+
+type spec = {
+  name : string;
+  group : group;
+  build : unit -> G.t;
+}
+
+(* S-DBLP-like case-study graph: a sparse collaboration background, a
+   planted near-clique "research group" (dense pairwise co-authorship)
+   and two planted advisor stars whose spokes barely know each other.
+   Triangle-PDS should find the near-clique; 2-star-PDS the larger
+   hub (Figure 17's contrast). *)
+let sdblp () =
+  let n = 478 in
+  let rng = Dsd_util.Prng.create 20190711 in
+  let edges = ref [] in
+  (* Background: small co-author cliques of size 2-4. *)
+  let v = ref 200 in
+  while !v < n - 4 do
+    let size = 2 + Dsd_util.Prng.int rng 3 in
+    for i = !v to !v + size - 1 do
+      for j = i + 1 to !v + size - 1 do
+        edges := (i, j) :: !edges
+      done
+    done;
+    (* Occasional cross-group tie. *)
+    if Dsd_util.Prng.bool rng then
+      edges := (!v, Dsd_util.Prng.int rng !v) :: !edges;
+    v := !v + size
+  done;
+  (* Near-clique group: K12 minus three edges on vertices 0-11.  Wins
+     on triangle density (~15.8) but not on 2-star density (~50). *)
+  for i = 0 to 11 do
+    for j = i + 1 to 11 do
+      if not (List.mem (i, j) [ (0, 11); (1, 10); (2, 9) ]) then
+        edges := (i, j) :: !edges
+    done
+  done;
+  (* Advisor stars: hub 20 with 120 former students/postdocs, hub 21
+     with 40 (14 shared with hub 20); spokes mostly do not know each
+     other, so the group is 2-star-dense (C(120,2)/121 ~ 59) but has
+     almost no triangles. *)
+  for s = 22 to 141 do
+    edges := (20, s) :: !edges
+  done;
+  for s = 142 to 181 do
+    edges := (21, s) :: !edges
+  done;
+  for s = 22 to 35 do
+    edges := (21, s) :: !edges
+  done;
+  (* A handful of spoke-spoke papers. *)
+  edges := (22, 23) :: (24, 25) :: (142, 143) :: !edges;
+  (* Tie the groups into one community. *)
+  edges := (0, 20) :: (1, 21) :: !edges;
+  G.of_edge_list ~n !edges
+
+let specs : spec list =
+  [
+    (* ---- small: exact algorithms feasible (Fig. 8(a)-(e)) ---- *)
+    { name = "yeast"; group = Small;
+      build = (fun () ->
+          (* Power-law PPI backbone plus a few planted protein
+             complexes (small dense clusters), which give the graph the
+             motif-dense spots real PPI networks have (the paper's
+             Yeast reaches triangle-density ~2 in a tiny cluster). *)
+          let backbone =
+            Gen.power_law_chung_lu ~seed:101 ~n:1116 ~alpha:2.9 ~avg_deg:3.4
+          in
+          let rng = Dsd_util.Prng.create 1011 in
+          let edges = ref (Array.to_list (G.edges backbone)) in
+          for _ = 1 to 12 do
+            let size = 4 + Dsd_util.Prng.int rng 4 in
+            let base = Dsd_util.Prng.int rng (1116 - size) in
+            for i = base to base + size - 1 do
+              for j = i + 1 to base + size - 1 do
+                (* Complexes are dense but not perfect cliques. *)
+                if Dsd_util.Prng.float rng 1.0 < 0.85 then
+                  edges := (i, j) :: !edges
+              done
+            done
+          done;
+          G.of_edge_list ~n:1116 !edges) };
+    { name = "netscience"; group = Small;
+      build = (fun () -> Gen.ssca ~seed:102 ~n:1589 ~max_clique:9) };
+    { name = "as733"; group = Small;
+      build = (fun () ->
+          (* AS topologies are preferential-attachment-like but carry a
+             dense peering core among the top providers (the real
+             As-733 has triangle-kmax 39); plant one over the hubs. *)
+          let backbone = Gen.barabasi_albert ~seed:103 ~n:1486 ~attach:2 in
+          let edges = ref (Array.to_list (G.edges backbone)) in
+          for u = 0 to 11 do
+            for v = u + 1 to 11 do
+              edges := (u, v) :: !edges
+            done
+          done;
+          G.of_edge_list ~n:1486 !edges) };
+    { name = "ca_hepth"; group = Small;
+      build = (fun () -> Gen.ssca ~seed:104 ~n:4000 ~max_clique:8) };
+    { name = "as_caida"; group = Small;
+      build = (fun () ->
+          (* Same shape as as733, larger: BA backbone + a denser
+             provider core (the real As-Caida has triangle-kmax 154 in
+             a 68-vertex core). *)
+          let backbone = Gen.barabasi_albert ~seed:105 ~n:8000 ~attach:6 in
+          let rng = Dsd_util.Prng.create 1055 in
+          let edges = ref (Array.to_list (G.edges backbone)) in
+          for u = 0 to 23 do
+            for v = u + 1 to 23 do
+              if Dsd_util.Prng.float rng 1.0 < 0.8 then
+                edges := (u, v) :: !edges
+            done
+          done;
+          G.of_edge_list ~n:8000 !edges) };
+    (* ---- large: approximation algorithms (Fig. 8(f)-(j)) ---- *)
+    { name = "dblp_s"; group = Large;
+      build = (fun () -> Gen.ssca ~seed:201 ~n:50_000 ~max_clique:10) };
+    { name = "cit_s"; group = Large;
+      build = (fun () ->
+          Gen.power_law_chung_lu ~seed:202 ~n:100_000 ~alpha:2.3 ~avg_deg:8.) };
+    { name = "friend_s"; group = Large;
+      build = (fun () -> Gen.barabasi_albert ~seed:203 ~n:200_000 ~attach:5) };
+    { name = "wiki_s"; group = Large;
+      build = (fun () -> Gen.rmat ~seed:204 ~scale:15 ~edge_factor:6 ()) };
+    { name = "uk_s"; group = Large;
+      build = (fun () -> Gen.ssca ~seed:205 ~n:80_000 ~max_clique:12) };
+    (* ---- random graphs (Fig. 13/14) ---- *)
+    { name = "ssca"; group = Random;
+      build = (fun () -> Gen.ssca ~seed:301 ~n:10_000 ~max_clique:12) };
+    { name = "er"; group = Random;
+      build = (fun () -> Gen.er_gnp ~seed:302 ~n:10_000 ~p:0.001) };
+    { name = "rmat"; group = Random;
+      build = (fun () -> Gen.rmat ~seed:303 ~scale:13 ~edge_factor:10 ()) };
+    (* ---- appendix extra datasets (Fig. 20) ---- *)
+    { name = "flickr_s"; group = Extra;
+      build = (fun () -> Gen.barabasi_albert ~seed:401 ~n:30_000 ~attach:8) };
+    { name = "google_s"; group = Extra;
+      build = (fun () ->
+          Gen.power_law_chung_lu ~seed:402 ~n:50_000 ~alpha:2.5 ~avg_deg:8.) };
+    { name = "foursq_s"; group = Extra;
+      build = (fun () -> Gen.rmat ~seed:403 ~scale:14 ~edge_factor:6 ()) };
+    (* ---- case studies ---- *)
+    { name = "sdblp"; group = Case_study; build = sdblp };
+  ]
+
+let all = specs
+
+let names_of_group g =
+  List.filter_map (fun s -> if s.group = g then Some s.name else None) specs
+
+let cache : (string, G.t) Hashtbl.t = Hashtbl.create 8
+
+let graph name =
+  match Hashtbl.find_opt cache name with
+  | Some g -> g
+  | None ->
+    let spec = List.find (fun s -> s.name = name) specs in
+    let g = spec.build () in
+    Hashtbl.replace cache name g;
+    g
+
+let mem name = List.exists (fun s -> s.name = name) specs

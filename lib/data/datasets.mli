@@ -1,0 +1,32 @@
+(** Named synthetic stand-ins for the paper's datasets (Table 2 and
+    Table 6), deterministic in their fixed seeds.
+
+    Real SNAP/LAW/DIP files are unavailable offline; these generators
+    reproduce the *shape* each experiment depends on (heavy-tailed
+    degrees, small dense cores, clique-block communities) at a scale a
+    laptop-class container sweeps in seconds.  The mapping and the
+    rationale live in DESIGN.md §4. *)
+
+type group =
+  | Small      (** Fig. 8(a)-(e): exact algorithms are feasible *)
+  | Large      (** Fig. 8(f)-(j): approximation algorithms only *)
+  | Random     (** Fig. 13/14: SSCA / ER / R-MAT *)
+  | Extra      (** Fig. 20 appendix datasets *)
+  | Case_study (** S-DBLP / Yeast case-study graphs *)
+
+type spec = {
+  name : string;           (** paper dataset it stands in for *)
+  group : group;
+  build : unit -> Dsd_graph.Graph.t;
+}
+
+val all : spec list
+
+(** [names_of_group g] in paper order. *)
+val names_of_group : group -> string list
+
+(** [graph name] builds (and memoises) the named dataset.
+    @raise Not_found on an unknown name. *)
+val graph : string -> Dsd_graph.Graph.t
+
+val mem : string -> bool

@@ -1,0 +1,226 @@
+module G = Dsd_graph.Graph
+module Prng = Dsd_util.Prng
+module Vec = Dsd_util.Vec
+
+(* Pack an ordered pair into one int for dedup sets.  Safe while
+   n < 2^31, far beyond anything we generate. *)
+let encode n u v = (min u v * n) + max u v
+
+let er_gnp ~seed ~n ~p =
+  if not (p >= 0. && p <= 1.) then invalid_arg "Gen.er_gnp: p out of range";
+  let rng = Prng.create seed in
+  let edges = ref [] in
+  if p > 0. then begin
+    (* Skip-ahead sampling: iterate over the C(n,2) pair indices,
+       jumping a geometric gap between successive present edges. *)
+    let total = n * (n - 1) / 2 in
+    let idx = ref (Prng.geometric rng p) in
+    while !idx < total do
+      (* Decode pair index to (u, v): u is the largest with
+         u*(2n-u-1)/2 <= idx. *)
+      let rec find_u u acc =
+        let row = n - 1 - u in
+        if acc + row > !idx then (u, !idx - acc) else find_u (u + 1) (acc + row)
+      in
+      let u, off = find_u 0 0 in
+      edges := (u, u + 1 + off) :: !edges;
+      idx := !idx + 1 + Prng.geometric rng p
+    done
+  end;
+  G.of_edge_list ~n !edges
+
+let er_gnm ~seed ~n ~m =
+  let total = n * (n - 1) / 2 in
+  if m > total then invalid_arg "Gen.er_gnm: too many edges";
+  let rng = Prng.create seed in
+  let seen = Hashtbl.create (2 * m) in
+  let edges = ref [] in
+  while Hashtbl.length seen < m do
+    let u, v = Prng.pair_distinct rng n in
+    let key = encode n u v in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      edges := (u, v) :: !edges
+    end
+  done;
+  G.of_edge_list ~n !edges
+
+let rmat ~seed ~scale ~edge_factor ?(a = 0.57) ?(b = 0.19) ?(c = 0.19) () =
+  if a +. b +. c >= 1. then invalid_arg "Gen.rmat: a+b+c must be < 1";
+  let n = 1 lsl scale in
+  let rng = Prng.create seed in
+  let samples = edge_factor * n in
+  let edges = ref [] in
+  for _ = 1 to samples do
+    let u = ref 0 and v = ref 0 in
+    for bit = scale - 1 downto 0 do
+      let r = Prng.float rng 1.0 in
+      if r < a then ()
+      else if r < a +. b then v := !v lor (1 lsl bit)
+      else if r < a +. b +. c then u := !u lor (1 lsl bit)
+      else begin
+        u := !u lor (1 lsl bit);
+        v := !v lor (1 lsl bit)
+      end
+    done;
+    if !u <> !v then edges := (!u, !v) :: !edges
+  done;
+  G.of_edge_list ~n !edges
+
+let ssca ~seed ~n ~max_clique =
+  if max_clique < 2 then invalid_arg "Gen.ssca: max_clique must be >= 2";
+  let rng = Prng.create seed in
+  let edges = ref [] in
+  (* Consecutive blocks of random size in [1, max_clique], each a
+     clique. *)
+  let start = ref 0 in
+  while !start < n do
+    let size = min (1 + Prng.int rng max_clique) (n - !start) in
+    for i = !start to !start + size - 1 do
+      for j = i + 1 to !start + size - 1 do
+        edges := (i, j) :: !edges
+      done
+    done;
+    start := !start + size
+  done;
+  (* Sparse inter-block noise, ~ one extra edge per 4 vertices. *)
+  for _ = 1 to n / 4 do
+    let u, v = Prng.pair_distinct rng n in
+    edges := (u, v) :: !edges
+  done;
+  G.of_edge_list ~n !edges
+
+let barabasi_albert ~seed ~n ~attach =
+  if attach < 1 then invalid_arg "Gen.barabasi_albert: attach must be >= 1";
+  let rng = Prng.create seed in
+  let m0 = max (attach + 1) 2 in
+  if n < m0 then invalid_arg "Gen.barabasi_albert: n too small";
+  let edges = ref [] in
+  (* Endpoint multiset for preferential sampling. *)
+  let endpoints = Vec.Int.create ~capacity:(4 * n) () in
+  for v = 1 to m0 - 1 do
+    edges := (v - 1, v) :: !edges;
+    Vec.Int.push endpoints (v - 1);
+    Vec.Int.push endpoints v
+  done;
+  for v = m0 to n - 1 do
+    let chosen = Hashtbl.create attach in
+    let tries = ref 0 in
+    while Hashtbl.length chosen < attach && !tries < 50 * attach do
+      incr tries;
+      let u = Vec.Int.get endpoints (Prng.int rng (Vec.Int.length endpoints)) in
+      if u <> v then Hashtbl.replace chosen u ()
+    done;
+    Hashtbl.iter
+      (fun u () ->
+        edges := (u, v) :: !edges;
+        Vec.Int.push endpoints u;
+        Vec.Int.push endpoints v)
+      chosen
+  done;
+  G.of_edge_list ~n !edges
+
+let power_law_chung_lu ~seed ~n ~alpha ~avg_deg =
+  if alpha <= 2. then invalid_arg "Gen.power_law_chung_lu: alpha must be > 2";
+  let rng = Prng.create seed in
+  let w = Array.init n (fun i ->
+      (* w_i ~ i^(-1/(alpha-1)), rescaled to the target average. *)
+      Float.pow (float_of_int (i + 1)) (-1. /. (alpha -. 1.)))
+  in
+  let sum = Array.fold_left ( +. ) 0. w in
+  let scale = avg_deg *. float_of_int n /. sum in
+  Array.iteri (fun i x -> w.(i) <- x *. scale) w;
+  let s = Array.fold_left ( +. ) 0. w in
+  (* Efficient Chung-Lu via the Miller-Hagberg style: sample ~s/2 edges
+     with probability proportional to w_u * w_v using weighted
+     endpoint draws, dropping duplicates. *)
+  let cumulative = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i x ->
+      acc := !acc +. x;
+      cumulative.(i) <- !acc)
+    w;
+  let draw () =
+    let r = Prng.float rng !acc in
+    (* Binary search for the first cumulative >= r. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cumulative.(mid) < r then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let target = int_of_float (s /. 2.) in
+  let seen = Hashtbl.create (2 * target) in
+  let edges = ref [] in
+  for _ = 1 to target do
+    let u = draw () and v = draw () in
+    if u <> v then begin
+      let key = encode n u v in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        edges := (u, v) :: !edges
+      end
+    end
+  done;
+  G.of_edge_list ~n !edges
+
+let planted_clique ~seed ~n ~p ~clique =
+  if clique > n then invalid_arg "Gen.planted_clique: clique larger than n";
+  let background = er_gnp ~seed ~n ~p in
+  let edges = ref (Array.to_list (G.edges background)) in
+  for u = 0 to clique - 1 do
+    for v = u + 1 to clique - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  G.of_edge_list ~n !edges
+
+let communities ~seed ~n ~communities ~p_in ~p_out =
+  if communities < 1 then invalid_arg "Gen.communities: need at least one";
+  let rng = Prng.create seed in
+  let members = Array.init n (fun v -> v mod communities) in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let p = if members.(u) = members.(v) then p_in else p_out in
+      if Prng.float rng 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  G.of_edge_list ~n !edges
+
+let er_directed ~seed ~n ~p =
+  if not (p >= 0. && p <= 1.) then invalid_arg "Gen.er_directed: p out of range";
+  let rng = Prng.create seed in
+  let arcs = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Prng.float rng 1.0 < p then arcs := (u, v) :: !arcs
+    done
+  done;
+  Dsd_graph.Digraph.of_edge_list ~n !arcs
+
+let random_graph_for_tests rng ~max_n ~max_m =
+  let n = 1 + Prng.int rng max_n in
+  let m = if n < 2 then 0 else Prng.int rng (max_m + 1) in
+  let edges = ref [] in
+  for _ = 1 to m do
+    if n >= 2 then begin
+      let u, v = Prng.pair_distinct rng n in
+      edges := (u, v) :: !edges
+    end
+  done;
+  G.of_edge_list ~n !edges
+
+let random_digraph_for_tests rng ~max_n ~max_m =
+  let n = 1 + Prng.int rng max_n in
+  let m = if n < 2 then 0 else Prng.int rng (max_m + 1) in
+  let arcs = ref [] in
+  for _ = 1 to m do
+    if n >= 2 then begin
+      let u, v = Prng.pair_distinct rng n in
+      arcs := (u, v) :: !arcs
+    end
+  done;
+  Dsd_graph.Digraph.of_edge_list ~n !arcs

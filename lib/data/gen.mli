@@ -1,0 +1,64 @@
+(** Seeded random-graph generators.
+
+    These stand in for the paper's datasets (Table 2) and for the
+    GTgraph generators of the random-graph experiments (Figures 13/14):
+    [er_gnm] ~ uniform (ER), [rmat] ~ power-law (R-MAT), [ssca] ~
+    random-sized clique blocks (SSCA).  Everything is deterministic in
+    the seed. *)
+
+(** [er_gnp ~seed ~n ~p] — Erdős-Rényi G(n, p) by geometric edge
+    skipping, O(m). *)
+val er_gnp : seed:int -> n:int -> p:float -> Dsd_graph.Graph.t
+
+(** [er_gnm ~seed ~n ~m] — uniform graph with exactly [m] distinct
+    edges (requires m ≤ C(n,2)). *)
+val er_gnm : seed:int -> n:int -> m:int -> Dsd_graph.Graph.t
+
+(** [rmat ~seed ~scale ~edge_factor ?a ?b ?c] — recursive-matrix
+    power-law generator on n = 2^scale vertices and ~[edge_factor * n]
+    edge samples (duplicates collapse, like GTgraph).  Defaults
+    (a, b, c) = (0.57, 0.19, 0.19). *)
+val rmat :
+  seed:int -> scale:int -> edge_factor:int ->
+  ?a:float -> ?b:float -> ?c:float -> unit -> Dsd_graph.Graph.t
+
+(** [ssca ~seed ~n ~max_clique] — SSCA#2-style: partition vertices into
+    random-sized blocks (≤ max_clique), make each block a clique, then
+    sprinkle inter-block edges. *)
+val ssca : seed:int -> n:int -> max_clique:int -> Dsd_graph.Graph.t
+
+(** [barabasi_albert ~seed ~n ~attach] — preferential attachment, each
+    new vertex linking to [attach] existing ones; heavy-tailed degrees
+    like collaboration/AS graphs. *)
+val barabasi_albert : seed:int -> n:int -> attach:int -> Dsd_graph.Graph.t
+
+(** [power_law_chung_lu ~seed ~n ~alpha ~avg_deg] — Chung-Lu model with
+    expected degrees w_i proportional to i^(-1/(alpha-1)). *)
+val power_law_chung_lu :
+  seed:int -> n:int -> alpha:float -> avg_deg:float -> Dsd_graph.Graph.t
+
+(** [planted_clique ~seed ~n ~p ~clique] — sparse ER background with a
+    planted clique of the given size; the clique is on vertices
+    [0 .. clique-1] and (for suitable parameters) is the unique densest
+    subgraph — the tests' ground truth. *)
+val planted_clique : seed:int -> n:int -> p:float -> clique:int -> Dsd_graph.Graph.t
+
+(** [communities ~seed ~n ~communities ~p_in ~p_out] — planted
+    partition model: dense blocks, sparse cross edges (DBLP-like
+    collaboration shape). *)
+val communities :
+  seed:int -> n:int -> communities:int -> p_in:float -> p_out:float ->
+  Dsd_graph.Graph.t
+
+(** [er_directed ~seed ~n ~p] — directed Erdős-Rényi: each ordered
+    pair (u, v), u ≠ v, is an arc independently with probability p. *)
+val er_directed : seed:int -> n:int -> p:float -> Dsd_graph.Digraph.t
+
+(** [random_graph_for_tests prng ~max_n ~max_m] — a small arbitrary
+    graph for property tests. *)
+val random_graph_for_tests : Dsd_util.Prng.t -> max_n:int -> max_m:int -> Dsd_graph.Graph.t
+
+(** [random_digraph_for_tests prng ~max_n ~max_m] — small arbitrary
+    directed graph for property tests. *)
+val random_digraph_for_tests :
+  Dsd_util.Prng.t -> max_n:int -> max_m:int -> Dsd_graph.Digraph.t

@@ -1,0 +1,78 @@
+(* Hand-built example graphs for tests, examples and documentation.
+   [figure2] is reproduced exactly from the paper; the rest are
+   known-answer constructions whose ground truth the test suite
+   re-derives by brute force. *)
+
+module G = Dsd_graph.Graph
+
+(* Figure 2(a): vertices A=0, B=1, C=2, D=3; edges AB, BC, BD, CD.
+   Exactly one triangle (B, C, D). *)
+let figure2 = G.of_edge_list ~n:4 [ (0, 1); (1, 2); (1, 3); (2, 3) ]
+
+(* Figure 3 style: K4 {0,1,2,3} plus a triangle {3,4,5} hanging off it,
+   plus a second component {6,7}.  Classical cores: 3-core = K4,
+   2-core = {0..5}, 1-core = everything.  Triangle-cores: (3,tri)-core
+   = K4, (1,tri)-core = {0..5}. *)
+let figure3_like =
+  G.of_edge_list ~n:8
+    [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3);
+      (3, 4); (3, 5); (4, 5);
+      (6, 7) ]
+
+(* Figure 1 in spirit: the edge-densest and the triangle-densest
+   subgraphs differ.  K3,4 (parts {0,1,2} and {3,4,5,6}) has edge
+   density 12/7 and no triangle at all; the disjoint K4 {7,8,9,10} has
+   edge density 1.5 but triangle density 1. *)
+let eds_vs_cds =
+  let edges = ref [] in
+  for u = 0 to 2 do
+    for v = 3 to 6 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  for u = 7 to 10 do
+    for v = u + 1 to 10 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  G.of_edge_list ~n:11 !edges
+
+(* Two cliques K_a and K_b on disjoint vertices, optionally joined by a
+   single bridge edge.  With a > b the K_a side is the densest subgraph
+   for every h-clique density. *)
+let two_cliques ~a ~b ~bridge =
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = u + 1 to a - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  for u = a to a + b - 1 do
+    for v = u + 1 to a + b - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  if bridge && a > 0 && b > 0 then edges := (0, a) :: !edges;
+  G.of_edge_list ~n:(a + b) !edges
+
+(* A path P_n: sparse, tree-like; densest subgraph is any edge for
+   h = 2 and empty for h >= 3. *)
+let path n =
+  G.of_edge_list ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+(* A cycle C_n. *)
+let cycle n =
+  if n < 3 then invalid_arg "Paper_graphs.cycle: need n >= 3";
+  G.of_edge_list ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+(* Figure 4(b) in spirit: a family with classical kmax = 2 whose
+   kmax-core density approaches Theorem 1's upper bound 2 as x grows.
+   K_{2,x} does exactly that: all core numbers are 2 (x >= 2) and the
+   density is 2x / (x + 2) -> 2. *)
+let theorem1_chain x =
+  if x < 2 then invalid_arg "Paper_graphs.theorem1_chain: x >= 2";
+  let edges = ref [] in
+  for i = 2 to x + 1 do
+    edges := (0, i) :: (1, i) :: !edges
+  done;
+  G.of_edge_list ~n:(x + 2) !edges

@@ -1,0 +1,26 @@
+(** Hand-built example graphs: the exactly-specified Figure 2 graph
+    plus known-answer constructions used across tests, examples and
+    documentation (ground truths re-derived by brute force in the test
+    suite). *)
+
+(** Figure 2(a) of the paper: A-B, B-C, B-D, C-D; one triangle. *)
+val figure2 : Dsd_graph.Graph.t
+
+(** K4 + attached triangle + separate edge; nested cores as in the
+    paper's Figure 3 discussion. *)
+val figure3_like : Dsd_graph.Graph.t
+
+(** K3,4 disjoint from K4: the EDS (K3,4) and the triangle-CDS (K4)
+    differ, as in Figure 1. *)
+val eds_vs_cds : Dsd_graph.Graph.t
+
+(** [two_cliques ~a ~b ~bridge]: K_a ⊔ K_b, optionally bridged. *)
+val two_cliques : a:int -> b:int -> bridge:bool -> Dsd_graph.Graph.t
+
+val path : int -> Dsd_graph.Graph.t
+val cycle : int -> Dsd_graph.Graph.t
+
+(** [theorem1_chain x]: K_{2,x} (x >= 2) — classical kmax stays 2
+    while the kmax-core density 2x/(x+2) converges to Theorem 1's upper
+    bound as [x] grows (the Figure 4(b) phenomenon). *)
+val theorem1_chain : int -> Dsd_graph.Graph.t

@@ -1,0 +1,66 @@
+module F = Flow_network
+
+(* Level graph + DFS blocking flow with per-node arc cursors ("current
+   arc" optimisation).  Float capacities: an arc is usable while its
+   residual exceeds [F.eps]. *)
+
+let max_flow net ~s ~t =
+  let n = F.node_count net in
+  if s = t then invalid_arg "Dinic.max_flow: s = t";
+  let level = Array.make n (-1) in
+  let cursor = Array.make n 0 in
+  let arcs = Array.init n (fun v -> F.arcs_from net v) in
+  let queue = Queue.create () in
+  let build_levels () =
+    Array.fill level 0 n (-1);
+    Queue.clear queue;
+    level.(s) <- 0;
+    Queue.add s queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Array.iter
+        (fun e ->
+          let v = F.arc_dst net e in
+          if level.(v) < 0 && F.residual net e > F.eps then begin
+            level.(v) <- level.(u) + 1;
+            Queue.add v queue
+          end)
+        arcs.(u)
+    done;
+    level.(t) >= 0
+  in
+  let rec dfs u limit =
+    if u = t then limit
+    else begin
+      let pushed = ref 0. in
+      let continue = ref true in
+      while !continue && cursor.(u) < Array.length arcs.(u) do
+        let e = arcs.(u).(cursor.(u)) in
+        let v = F.arc_dst net e in
+        let r = F.residual net e in
+        if level.(v) = level.(u) + 1 && r > F.eps then begin
+          let f = dfs v (min (limit -. !pushed) r) in
+          if f > F.eps then begin
+            F.push net e f;
+            pushed := !pushed +. f;
+            if limit -. !pushed <= F.eps then continue := false
+          end
+          else
+            (* Dead end below; advance past this arc. *)
+            cursor.(u) <- cursor.(u) + 1
+        end
+        else cursor.(u) <- cursor.(u) + 1
+      done;
+      !pushed
+    end
+  in
+  let total = ref 0. in
+  while build_levels () do
+    Array.fill cursor 0 n 0;
+    let f = ref (dfs s infinity) in
+    while !f > F.eps do
+      total := !total +. !f;
+      f := dfs s infinity
+    done
+  done;
+  !total

@@ -1,0 +1,11 @@
+(** Dinic's maximum-flow algorithm.
+
+    O(V^2 E) in general and far better in practice on the shallow
+    layered networks produced by DSD binary search (source -> vertices
+    -> clique nodes -> sink is depth 3).  This plays the role of
+    Gusfield's min-cut routine in the paper's Exact/CoreExact; both
+    compute exact min-cuts, and DSD only consumes the cut. *)
+
+(** [max_flow net ~s ~t] saturates the network in place and returns the
+    max-flow value. *)
+val max_flow : Flow_network.t -> s:int -> t:int -> float

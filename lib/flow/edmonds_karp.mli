@@ -1,0 +1,7 @@
+(** Edmonds-Karp (BFS augmenting paths) maximum flow.
+
+    Slower than {!Dinic} but textbook-simple; kept as an independent
+    oracle so property tests can cross-check the two solvers on random
+    networks. *)
+
+val max_flow : Flow_network.t -> s:int -> t:int -> float

@@ -1,0 +1,60 @@
+type t = {
+  n : int;
+  dst : Dsd_util.Vec.Int.t;        (* arc -> head node *)
+  cap : Dsd_util.Vec.Float.t;      (* arc -> capacity *)
+  flow : Dsd_util.Vec.Float.t;     (* arc -> current flow (may be < 0 on twins) *)
+  out : Dsd_util.Vec.Int.t array;  (* node -> arc ids *)
+  mutable edges : int;
+}
+
+let eps = 1e-9
+
+let create n =
+  {
+    n;
+    dst = Dsd_util.Vec.Int.create ~capacity:64 ();
+    cap = Dsd_util.Vec.Float.create ~capacity:64 ();
+    flow = Dsd_util.Vec.Float.create ~capacity:64 ();
+    out = Array.init (max 1 n) (fun _ -> Dsd_util.Vec.Int.create ~capacity:2 ());
+    edges = 0;
+  }
+
+let node_count t = t.n
+let edge_count t = t.edges
+let arc_count t = Dsd_util.Vec.Int.length t.dst
+
+let add_edge t ~src ~dst ~cap =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Flow_network.add_edge: node out of range";
+  if not (cap >= 0.) then invalid_arg "Flow_network.add_edge: negative capacity";
+  let id = arc_count t in
+  Dsd_util.Vec.Int.push t.dst dst;
+  Dsd_util.Vec.Float.push t.cap cap;
+  Dsd_util.Vec.Float.push t.flow 0.;
+  Dsd_util.Vec.Int.push t.out.(src) id;
+  Dsd_util.Vec.Int.push t.dst src;
+  Dsd_util.Vec.Float.push t.cap 0.;
+  Dsd_util.Vec.Float.push t.flow 0.;
+  Dsd_util.Vec.Int.push t.out.(dst) (id + 1);
+  t.edges <- t.edges + 1;
+  id
+
+let arc_dst t e = Dsd_util.Vec.Int.get t.dst e
+let arc_cap t e = Dsd_util.Vec.Float.get t.cap e
+
+let residual t e =
+  Dsd_util.Vec.Float.get t.cap e -. Dsd_util.Vec.Float.get t.flow e
+
+let push t e f =
+  Dsd_util.Vec.Float.set t.flow e (Dsd_util.Vec.Float.get t.flow e +. f);
+  let twin = e lxor 1 in
+  Dsd_util.Vec.Float.set t.flow twin (Dsd_util.Vec.Float.get t.flow twin -. f)
+
+let iter_arcs_from t v ~f = Dsd_util.Vec.Int.iter f t.out.(v)
+
+let arcs_from t v = Dsd_util.Vec.Int.to_array t.out.(v)
+
+let reset_flow t =
+  for e = 0 to arc_count t - 1 do
+    Dsd_util.Vec.Float.set t.flow e 0.
+  done

@@ -1,0 +1,52 @@
+(** Directed flow networks with float capacities in residual-arc form.
+
+    Every [add_edge] creates a forward arc and a zero-capacity reverse
+    arc stored at adjacent indices, so the reverse of arc [e] is
+    [e lxor 1] — the standard residual-graph layout shared by the Dinic
+    and Edmonds-Karp solvers.
+
+    Capacities are floats because the DSD binary search guesses a
+    fractional density [alpha] (arc capacities [alpha * |V_Psi|],
+    Algorithm 1 line 8).  [infinity] is a legal capacity (the
+    clique-node-to-vertex arcs of Algorithm 1 line 11). *)
+
+type t
+
+(** [create n] makes a network with nodes [0 .. n-1] and no arcs. *)
+val create : int -> t
+
+(** Number of nodes. *)
+val node_count : t -> int
+
+(** Number of [add_edge] calls so far. *)
+val edge_count : t -> int
+
+(** [add_edge t ~src ~dst ~cap] adds a forward arc of capacity [cap]
+    (must be ≥ 0; may be [infinity]) and its residual twin.  Returns
+    the forward arc id. *)
+val add_edge : t -> src:int -> dst:int -> cap:float -> int
+
+(** {1 Low-level accessors used by the solvers} *)
+
+val arc_count : t -> int
+val arc_dst : t -> int -> int
+val arc_cap : t -> int -> float
+
+(** Remaining residual capacity of an arc. *)
+val residual : t -> int -> float
+
+(** [push t arc f] sends [f] units along [arc] (and -[f] along its
+    twin). *)
+val push : t -> int -> float -> unit
+
+(** [iter_arcs_from t v ~f] visits the arc ids leaving node [v]
+    (forward and residual twins alike). *)
+val iter_arcs_from : t -> int -> f:(int -> unit) -> unit
+
+val arcs_from : t -> int -> int array
+
+(** [reset_flow t] zeroes all flow, restoring initial capacities. *)
+val reset_flow : t -> unit
+
+(** Tolerance under which a residual capacity counts as exhausted. *)
+val eps : float

@@ -1,0 +1,34 @@
+module F = Flow_network
+
+let source_side net ~s =
+  let n = F.node_count net in
+  let side = Array.make n false in
+  let queue = Queue.create () in
+  side.(s) <- true;
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    F.iter_arcs_from net u ~f:(fun e ->
+        let v = F.arc_dst net e in
+        if (not side.(v)) && F.residual net e > F.eps then begin
+          side.(v) <- true;
+          Queue.add v queue
+        end)
+  done;
+  side
+
+let solve net ~s ~t =
+  let value = Dinic.max_flow net ~s ~t in
+  (value, source_side net ~s)
+
+let cut_capacity net side =
+  let total = ref 0. in
+  for u = 0 to F.node_count net - 1 do
+    if side.(u) then
+      F.iter_arcs_from net u ~f:(fun e ->
+          (* Only original forward arcs carry capacity; twins have cap 0
+             and contribute nothing. *)
+          let v = F.arc_dst net e in
+          if not side.(v) then total := !total +. F.arc_cap net e)
+  done;
+  !total

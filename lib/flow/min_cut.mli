@@ -1,0 +1,21 @@
+(** Minimum s-t cut extraction.
+
+    After a max-flow computation the source side [S] of a minimum cut
+    is the set of nodes reachable from [s] in the residual graph
+    (max-flow/min-cut theorem).  DSD consumes exactly this set: the
+    vertex nodes in [S \ {s}] induce the candidate densest subgraph
+    (Algorithm 1 line 18). *)
+
+(** [solve net ~s ~t] runs {!Dinic.max_flow} and returns
+    [(flow_value, source_side)] where [source_side.(v)] iff node [v]
+    is on the source side of a minimum cut. *)
+val solve : Flow_network.t -> s:int -> t:int -> float * bool array
+
+(** [source_side net ~s] recomputes reachability on an
+    already-saturated network. *)
+val source_side : Flow_network.t -> s:int -> bool array
+
+(** [cut_capacity net side] sums the capacities of arcs crossing from
+    [side] to its complement (sanity-check helper for tests: equals the
+    max-flow value on a saturated network). *)
+val cut_capacity : Flow_network.t -> bool array -> float

@@ -1,0 +1,40 @@
+type t = {
+  order : int array;
+  rank : int array;
+  core : int array;
+  degeneracy : int;
+}
+
+let compute g =
+  let n = Graph.n g in
+  let order = Array.make n 0 in
+  let rank = Array.make n 0 in
+  let core = Array.make n 0 in
+  if n = 0 then { order; rank; core; degeneracy = 0 }
+  else begin
+    let queue =
+      Dsd_util.Bucket_queue.create ~n ~max_key:(max 1 (Graph.max_degree g))
+    in
+    for v = 0 to n - 1 do
+      Dsd_util.Bucket_queue.add queue ~item:v ~key:(Graph.degree g v)
+    done;
+    (* Peel minimum-degree vertices; the running maximum of pop keys is
+       exactly the core number of the popped vertex. *)
+    let kmax = ref 0 in
+    for i = 0 to n - 1 do
+      match Dsd_util.Bucket_queue.pop_min queue with
+      | None -> assert false
+      | Some (v, k) ->
+        if k > !kmax then kmax := k;
+        core.(v) <- !kmax;
+        order.(i) <- v;
+        rank.(v) <- i;
+        Graph.iter_neighbors g v ~f:(fun w ->
+            if Dsd_util.Bucket_queue.mem queue w then begin
+              let kw = Dsd_util.Bucket_queue.key queue w in
+              if kw > k then
+                Dsd_util.Bucket_queue.update queue ~item:w ~key:(kw - 1)
+            end)
+    done;
+    { order; rank; core; degeneracy = !kmax }
+end

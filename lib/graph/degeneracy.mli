@@ -1,0 +1,16 @@
+(** Degeneracy ordering and classical core numbers
+    (Batagelj-Zaversnik, linear time).
+
+    The ordering drives the kClist h-clique enumerator (each edge is
+    oriented from the earlier to the later vertex, giving a DAG of
+    out-degree ≤ degeneracy), and the core numbers are the classical
+    k-core numbers used by CoreApp's gamma upper bound. *)
+
+type t = {
+  order : int array;       (** peel order: order.(i) is the i-th removed vertex *)
+  rank : int array;        (** rank.(v) = position of v in [order] *)
+  core : int array;        (** core.(v) = classical core number of v *)
+  degeneracy : int;        (** max core number *)
+}
+
+val compute : Graph.t -> t

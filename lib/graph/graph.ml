@@ -1,0 +1,156 @@
+type t = {
+  n : int;
+  m : int;
+  row : int array;   (* row.(v) .. row.(v+1) - 1 index into col *)
+  col : int array;   (* concatenated sorted neighbour lists *)
+}
+
+let n g = g.n
+let m g = g.m
+
+let degree g v = g.row.(v + 1) - g.row.(v)
+
+let max_degree g =
+  let d = ref 0 in
+  for v = 0 to g.n - 1 do
+    if degree g v > !d then d := degree g v
+  done;
+  !d
+
+let neighbors g v = Array.sub g.col g.row.(v) (degree g v)
+
+let iter_neighbors g v ~f =
+  for i = g.row.(v) to g.row.(v + 1) - 1 do
+    f g.col.(i)
+  done
+
+let mem_edge g u v =
+  let lo = ref g.row.(u) and hi = ref (g.row.(u + 1) - 1) in
+  let found = ref false in
+  while not !found && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = g.col.(mid) in
+    if w = v then found := true
+    else if w < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let iter_edges g ~f =
+  for u = 0 to g.n - 1 do
+    for i = g.row.(u) to g.row.(u + 1) - 1 do
+      let v = g.col.(i) in
+      if u < v then f u v
+    done
+  done
+
+let edges g =
+  let out = Array.make g.m (0, 0) in
+  let k = ref 0 in
+  iter_edges g ~f:(fun u v ->
+      out.(!k) <- (u, v);
+      incr k);
+  out
+
+let degrees g = Array.init g.n (fun v -> degree g v)
+
+(* Build CSR from an arbitrary (possibly dirty) edge array: two counting
+   passes plus a per-row sort-dedup.  O(m log d). *)
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_edges: endpoint out of range")
+    edges;
+  let deg = Array.make (n + 1) 0 in
+  Array.iter
+    (fun (u, v) ->
+      if u <> v then begin
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1
+      end)
+    edges;
+  let row = Array.make (n + 1) 0 in
+  for v = 1 to n do
+    row.(v) <- row.(v - 1) + deg.(v - 1)
+  done;
+  let col = Array.make row.(n) 0 in
+  let fill = Array.copy row in
+  Array.iter
+    (fun (u, v) ->
+      if u <> v then begin
+        col.(fill.(u)) <- v;
+        fill.(u) <- fill.(u) + 1;
+        col.(fill.(v)) <- u;
+        fill.(v) <- fill.(v) + 1
+      end)
+    edges;
+  (* Sort each row and squeeze out duplicates in place, then compact. *)
+  let new_row = Array.make (n + 1) 0 in
+  let write = ref 0 in
+  for v = 0 to n - 1 do
+    new_row.(v) <- !write;
+    let lo = row.(v) and hi = row.(v + 1) in
+    let slice = Array.sub col lo (hi - lo) in
+    Array.sort compare slice;
+    let last = ref (-1) in
+    Array.iter
+      (fun w ->
+        if w <> !last then begin
+          col.(!write) <- w;
+          incr write;
+          last := w
+        end)
+      slice
+  done;
+  new_row.(n) <- !write;
+  let col = Array.sub col 0 !write in
+  { n; m = !write / 2; row = new_row; col }
+
+let of_edge_list ~n edges = of_edges ~n (Array.of_list edges)
+
+let empty n = of_edges ~n [||]
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  of_edge_list ~n !edges
+
+let induced g vs =
+  (* Deduplicate while keeping ascending old-id order. *)
+  let vs = Array.copy vs in
+  Array.sort compare vs;
+  let uniq = Dsd_util.Vec.Int.create () in
+  Array.iter
+    (fun v ->
+      if Dsd_util.Vec.Int.length uniq = 0
+         || Dsd_util.Vec.Int.get uniq (Dsd_util.Vec.Int.length uniq - 1) <> v
+      then Dsd_util.Vec.Int.push uniq v)
+    vs;
+  let old_of_new = Dsd_util.Vec.Int.to_array uniq in
+  let new_of_old = Array.make g.n (-1) in
+  Array.iteri (fun i v -> new_of_old.(v) <- i) old_of_new;
+  let edges = ref [] in
+  Array.iteri
+    (fun i v ->
+      iter_neighbors g v ~f:(fun w ->
+          let j = new_of_old.(w) in
+          if j >= 0 && i < j then edges := (i, j) :: !edges))
+    old_of_new;
+  (of_edge_list ~n:(Array.length old_of_new) !edges, old_of_new)
+
+let induced_mask g keep =
+  let vs = Dsd_util.Vec.Int.create () in
+  Array.iteri (fun v k -> if k then Dsd_util.Vec.Int.push vs v) keep;
+  induced g (Dsd_util.Vec.Int.to_array vs)
+
+let equal a b =
+  a.n = b.n && a.m = b.m && a.row = b.row && a.col = b.col
+
+let pp fmt g =
+  Format.fprintf fmt "@[graph n=%d m=%d@]" g.n g.m

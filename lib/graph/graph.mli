@@ -1,0 +1,78 @@
+(** Immutable undirected simple graphs in compressed sparse row form.
+
+    Vertices are dense integers [0 .. n-1].  Neighbour lists are sorted,
+    deduplicated, and never contain self loops, so adjacency tests are
+    O(log d) and neighbourhood intersections are linear merges.  This is
+    the substrate every algorithm in the library runs on (Section 3 of
+    the paper: undirected, unweighted, simple graphs). *)
+
+type t
+
+(** {1 Construction} *)
+
+(** [of_edges ~n edges] builds a graph on vertices [0..n-1].  Duplicate
+    edges, reversed duplicates and self loops are dropped.
+    @raise Invalid_argument if an endpoint is outside [0..n-1]. *)
+val of_edges : n:int -> (int * int) array -> t
+
+(** [of_edge_list ~n edges] is [of_edges] over a list. *)
+val of_edge_list : n:int -> (int * int) list -> t
+
+(** [empty n] has [n] vertices and no edges. *)
+val empty : int -> t
+
+(** [complete n] is K_n. *)
+val complete : int -> t
+
+(** {1 Accessors} *)
+
+(** Number of vertices [n = |V|]. *)
+val n : t -> int
+
+(** Number of undirected edges [m = |E|]. *)
+val m : t -> int
+
+(** [degree g v] is the number of neighbours of [v]. *)
+val degree : t -> int -> int
+
+(** [max_degree g] is the paper's [d]. *)
+val max_degree : t -> int
+
+(** [neighbors g v] is the sorted neighbour array of [v].  The returned
+    array is owned by the graph: callers must not mutate it. *)
+val neighbors : t -> int -> int array
+
+(** [iter_neighbors g v ~f] applies [f] to each neighbour of [v] in
+    increasing order. *)
+val iter_neighbors : t -> int -> f:(int -> unit) -> unit
+
+(** [mem_edge g u v] tests adjacency in O(log min-degree). *)
+val mem_edge : t -> int -> int -> bool
+
+(** [iter_edges g ~f] applies [f u v] once per undirected edge with
+    [u < v]. *)
+val iter_edges : t -> f:(int -> int -> unit) -> unit
+
+(** [edges g] lists the edges as pairs with [u < v]. *)
+val edges : t -> (int * int) array
+
+(** [degrees g] is the degree sequence (fresh array). *)
+val degrees : t -> int array
+
+(** {1 Derived graphs} *)
+
+(** [induced g vs] is the subgraph induced by the vertex set [vs]
+    (duplicates ignored), together with the map from new vertex ids to
+    the original ids.  New ids preserve the relative order of old
+    ids. *)
+val induced : t -> int array -> t * int array
+
+(** [induced_mask g keep] is [induced] over [{ v | keep.(v) }]. *)
+val induced_mask : t -> bool array -> t * int array
+
+(** {1 Comparison and display} *)
+
+(** Structural equality (same n, same edge set). *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+let parse_lines fold_lines =
+  let raw = Dsd_util.Vec.Int.create () in
+  fold_lines (fun line ->
+      let line = String.trim line in
+      if String.length line > 0 && line.[0] <> '#' && line.[0] <> '%' then begin
+        match String.split_on_char ' ' line |> List.concat_map (String.split_on_char '\t')
+              |> List.filter (fun s -> s <> "") with
+        | [a; b] | a :: b :: _ ->
+          let parse s =
+            match int_of_string_opt s with
+            | Some v when v >= 0 -> v
+            | _ -> failwith ("Io: malformed edge line: " ^ line)
+          in
+          Dsd_util.Vec.Int.push raw (parse a);
+          Dsd_util.Vec.Int.push raw (parse b)
+        | _ -> failwith ("Io: malformed edge line: " ^ line)
+      end);
+  let flat = Dsd_util.Vec.Int.to_array raw in
+  (* Compact sparse ids to 0..n-1 preserving numeric order. *)
+  let ids = Array.copy flat in
+  Array.sort compare ids;
+  let uniq = Dsd_util.Vec.Int.create () in
+  Array.iter
+    (fun v ->
+      let len = Dsd_util.Vec.Int.length uniq in
+      if len = 0 || Dsd_util.Vec.Int.get uniq (len - 1) <> v then
+        Dsd_util.Vec.Int.push uniq v)
+    ids;
+  let old_of_new = Dsd_util.Vec.Int.to_array uniq in
+  let tbl = Hashtbl.create (Array.length old_of_new) in
+  Array.iteri (fun i v -> Hashtbl.replace tbl v i) old_of_new;
+  let m = Array.length flat / 2 in
+  let edges =
+    Array.init m (fun i ->
+        (Hashtbl.find tbl flat.(2 * i), Hashtbl.find tbl flat.((2 * i) + 1)))
+  in
+  (Graph.of_edges ~n:(Array.length old_of_new) edges, old_of_new)
+
+let read path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      parse_lines (fun f ->
+          try
+            while true do
+              f (input_line ic)
+            done
+          with End_of_file -> ()))
+
+let read_string data =
+  parse_lines (fun f -> List.iter f (String.split_on_char '\n' data))
+
+let write path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "# n=%d m=%d\n" (Graph.n g) (Graph.m g);
+      Graph.iter_edges g ~f:(fun u v -> Printf.fprintf oc "%d %d\n" u v))
+
+let write_dot path g ~highlight =
+  let marked = Hashtbl.create 16 in
+  Array.iter (fun v -> Hashtbl.replace marked v ()) highlight;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "graph dsd {\n  node [shape=circle, fontsize=10];\n";
+      for v = 0 to Graph.n g - 1 do
+        if Hashtbl.mem marked v then
+          Printf.fprintf oc "  %d [style=filled, fillcolor=gold];\n" v
+      done;
+      Graph.iter_edges g ~f:(fun u v ->
+          let both = Hashtbl.mem marked u && Hashtbl.mem marked v in
+          Printf.fprintf oc "  %d -- %d%s;\n" u v
+            (if both then " [penwidth=2]" else ""));
+      output_string oc "}\n")

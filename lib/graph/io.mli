@@ -1,0 +1,22 @@
+(** Plain-text edge-list serialisation.
+
+    Format: optional comment lines starting with ['#' ] or ['%'], then
+    one [u v] pair per line.  Vertex ids may be arbitrary non-negative
+    integers; they are compacted to a dense [0..n-1] range on load
+    (SNAP files use sparse ids). *)
+
+(** [read path] loads a graph and the map from dense ids back to the
+    ids found in the file. *)
+val read : string -> Graph.t * int array
+
+(** [read_string data] parses the same format from memory. *)
+val read_string : string -> Graph.t * int array
+
+(** [write path g] writes one edge per line with a size header
+    comment. *)
+val write : string -> Graph.t -> unit
+
+(** [write_dot path g ~highlight] writes Graphviz DOT with the
+    [highlight] vertices filled (e.g. a discovered densest subgraph),
+    for the case-study figures. *)
+val write_dot : string -> Graph.t -> highlight:int array -> unit

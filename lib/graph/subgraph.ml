@@ -1,0 +1,53 @@
+type t = {
+  base : Graph.t;
+  present : bool array;
+  deg : int array;
+  mutable live : int;
+  mutable edges : int;
+}
+
+let of_graph_subset g vs =
+  let n = Graph.n g in
+  let present = Array.make n false in
+  Array.iter (fun v -> present.(v) <- true) vs;
+  let deg = Array.make n 0 in
+  let live = ref 0 and edges = ref 0 in
+  for v = 0 to n - 1 do
+    if present.(v) then begin
+      incr live;
+      let d = ref 0 in
+      Graph.iter_neighbors g v ~f:(fun w -> if present.(w) then incr d);
+      deg.(v) <- !d;
+      edges := !edges + !d
+    end
+  done;
+  { base = g; present; deg; live = !live; edges = !edges / 2 }
+
+let of_graph g = of_graph_subset g (Array.init (Graph.n g) (fun v -> v))
+
+let base t = t.base
+let live_count t = t.live
+let live_edges t = t.edges
+let alive t v = t.present.(v)
+
+let live_degree t v =
+  if not t.present.(v) then invalid_arg "Subgraph.live_degree: dead vertex";
+  t.deg.(v)
+
+let delete t v =
+  if not t.present.(v) then invalid_arg "Subgraph.delete: dead vertex";
+  t.present.(v) <- false;
+  t.live <- t.live - 1;
+  t.edges <- t.edges - t.deg.(v);
+  Graph.iter_neighbors t.base v ~f:(fun w ->
+      if t.present.(w) then t.deg.(w) <- t.deg.(w) - 1)
+
+let iter_live_neighbors t v ~f =
+  Graph.iter_neighbors t.base v ~f:(fun w -> if t.present.(w) then f w)
+
+let live_vertices t =
+  let out = Dsd_util.Vec.Int.create ~capacity:(max 1 t.live) () in
+  Array.iteri (fun v p -> if p then Dsd_util.Vec.Int.push out v) t.present;
+  Dsd_util.Vec.Int.to_array out
+
+let to_graph t = Graph.induced t.base (live_vertices t)

@@ -1,0 +1,42 @@
+(** Mutable "live" view of a {!Graph.t} supporting vertex deletion.
+
+    Peeling algorithms repeatedly remove vertices from a fixed base
+    graph.  Rebuilding a CSR per removal would be quadratic; this view
+    keeps a presence mask and live edge-degrees, all O(1) per query and
+    O(degree) per deletion. *)
+
+type t
+
+(** [of_graph g] starts with every vertex of [g] alive. *)
+val of_graph : Graph.t -> t
+
+(** [of_graph_subset g vs] starts with exactly the vertices of [vs]
+    alive. *)
+val of_graph_subset : Graph.t -> int array -> t
+
+val base : t -> Graph.t
+
+(** Number of vertices currently alive. *)
+val live_count : t -> int
+
+(** Number of edges currently alive (both endpoints alive). *)
+val live_edges : t -> int
+
+val alive : t -> int -> bool
+
+(** [live_degree t v] is the number of alive neighbours of an alive
+    [v]. *)
+val live_degree : t -> int -> int
+
+(** [delete t v] removes an alive vertex, updating neighbour degrees. *)
+val delete : t -> int -> unit
+
+(** [iter_live_neighbors t v ~f] visits alive neighbours of [v]. *)
+val iter_live_neighbors : t -> int -> f:(int -> unit) -> unit
+
+(** [live_vertices t] is the ascending array of alive vertices. *)
+val live_vertices : t -> int array
+
+(** [to_graph t] materialises the current view as a fresh graph plus
+    the old-id map. *)
+val to_graph : t -> Graph.t * int array

@@ -1,0 +1,78 @@
+let bfs_distances g src =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.iter_neighbors g u ~f:(fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+  done;
+  dist
+
+let components g =
+  let n = Graph.n g in
+  let ids = Array.make n (-1) in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  for s = 0 to n - 1 do
+    if ids.(s) < 0 then begin
+      let c = !count in
+      incr count;
+      ids.(s) <- c;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Graph.iter_neighbors g u ~f:(fun v ->
+            if ids.(v) < 0 then begin
+              ids.(v) <- c;
+              Queue.add v queue
+            end)
+      done
+    end
+  done;
+  (ids, !count)
+
+let component_members g =
+  let ids, count = components g in
+  let buckets = Array.make count [] in
+  (* Reverse iteration keeps each member list ascending. *)
+  for v = Graph.n g - 1 downto 0 do
+    buckets.(ids.(v)) <- v :: buckets.(ids.(v))
+  done;
+  Array.to_list buckets
+  |> List.map Array.of_list
+  |> List.sort (fun a b -> compare (Array.length b) (Array.length a))
+
+let largest_component g =
+  match component_members g with
+  | [] -> (g, [||])
+  | biggest :: _ -> Graph.induced g biggest
+
+let pseudo_diameter g =
+  if Graph.n g = 0 then 0
+  else begin
+    let lc, _ = largest_component g in
+    if Graph.n lc = 0 then 0
+    else begin
+      let farthest dist =
+        let best = ref 0 and best_d = ref (-1) in
+        Array.iteri
+          (fun v d ->
+            if d > !best_d then begin
+              best := v;
+              best_d := d
+            end)
+          dist;
+        (!best, !best_d)
+      in
+      let _, _ = farthest (bfs_distances lc 0) in
+      let u, _ = farthest (bfs_distances lc 0) in
+      let _, d = farthest (bfs_distances lc u) in
+      max d 0
+    end
+  end

@@ -1,0 +1,24 @@
+(** Breadth-first search, connected components, and eccentricity
+    estimates over {!Graph.t}. *)
+
+(** [bfs_distances g src] returns the array of hop
+    distances from [src]; unreachable vertices get [-1]. *)
+val bfs_distances : Graph.t -> int -> int array
+
+(** [components g] assigns each vertex a component id in
+    [0 .. count-1] and returns [(ids, count)]. *)
+val components : Graph.t -> int array * int
+
+(** [component_members g] lists the vertex arrays of every connected
+    component, largest first. *)
+val component_members : Graph.t -> int array list
+
+(** [largest_component g] is the induced subgraph of the largest
+    component together with the old-id map. *)
+val largest_component : Graph.t -> Graph.t * int array
+
+(** [pseudo_diameter g] lower-bounds the diameter of the largest
+    component with a double-sweep BFS (exact on trees, a good estimate
+    elsewhere; matches how Table 2's "maximum diameter" column is
+    consumed — as a shape statistic). *)
+val pseudo_diameter : Graph.t -> int

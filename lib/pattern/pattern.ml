@@ -1,0 +1,149 @@
+type kind =
+  | Clique
+  | Star of int
+  | Cycle4
+  | Generic
+
+type t = {
+  name : string;
+  size : int;
+  edges : (int * int) array;
+  adj : bool array array;
+  kind : kind;
+}
+
+let degree t v = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 t.adj.(v)
+let mem_edge t u v = t.adj.(u).(v)
+let edge_count t = Array.length t.edges
+
+let connected size adj =
+  if size = 0 then false
+  else begin
+    let seen = Array.make size false in
+    let rec dfs v =
+      seen.(v) <- true;
+      for w = 0 to size - 1 do
+        if adj.(v).(w) && not seen.(w) then dfs w
+      done
+    in
+    dfs 0;
+    Array.for_all Fun.id seen
+  end
+
+let recognize size edges adj =
+  let m = Array.length edges in
+  let degs = Array.init size (fun v ->
+      Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 adj.(v))
+  in
+  if m = size * (size - 1) / 2 then Clique
+  else if size >= 3 && m = size - 1
+          && Array.exists (fun d -> d = size - 1) degs
+          && Array.for_all (fun d -> d = 1 || d = size - 1) degs
+  then Star (size - 1)
+  else if size = 4 && m = 4 && Array.for_all (fun d -> d = 2) degs then Cycle4
+  else Generic
+
+let make ~name ~size edges =
+  if size < 2 then invalid_arg "Pattern.make: need at least two vertices";
+  let canonical =
+    List.map
+      (fun (u, v) ->
+        if u < 0 || u >= size || v < 0 || v >= size then
+          invalid_arg "Pattern.make: endpoint out of range";
+        if u = v then invalid_arg "Pattern.make: self loop";
+        (min u v, max u v))
+      edges
+    |> List.sort_uniq compare
+    |> Array.of_list
+  in
+  if Array.length canonical = 0 then invalid_arg "Pattern.make: empty edge set";
+  let adj = Array.make_matrix size size false in
+  Array.iter
+    (fun (u, v) ->
+      adj.(u).(v) <- true;
+      adj.(v).(u) <- true)
+    canonical;
+  if not (connected size adj) then
+    invalid_arg "Pattern.make: pattern must be connected";
+  { name; size; edges = canonical; adj; kind = recognize size canonical adj }
+
+let clique h =
+  if h < 2 then invalid_arg "Pattern.clique: h must be >= 2";
+  let edges = ref [] in
+  for u = 0 to h - 1 do
+    for v = u + 1 to h - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  let name = match h with
+    | 2 -> "edge"
+    | 3 -> "triangle"
+    | _ -> string_of_int h ^ "-clique"
+  in
+  make ~name ~size:h !edges
+
+let edge = clique 2
+let triangle = clique 3
+
+let star x =
+  if x < 2 then invalid_arg "Pattern.star: need at least two tails";
+  make ~name:(string_of_int x ^ "-star") ~size:(x + 1)
+    (List.init x (fun i -> (0, i + 1)))
+
+let c3_star =
+  make ~name:"c3-star" ~size:4 [ (0, 1); (0, 2); (1, 2); (2, 3) ]
+
+let diamond =
+  make ~name:"diamond" ~size:4 [ (0, 1); (1, 2); (2, 3); (3, 0) ]
+
+let two_triangle =
+  make ~name:"2-triangle" ~size:4 [ (0, 1); (0, 2); (1, 2); (1, 3); (2, 3) ]
+
+let three_triangle =
+  (* Apex 0 over the path 1-2-3-4. *)
+  make ~name:"3-triangle" ~size:5
+    [ (0, 1); (0, 2); (0, 3); (0, 4); (1, 2); (2, 3); (3, 4) ]
+
+let basket =
+  (* House: square 0-1-2-3 with roof vertex 4 over edge (2,3). *)
+  make ~name:"basket" ~size:5
+    [ (0, 1); (1, 2); (2, 3); (3, 0); (2, 4); (3, 4) ]
+
+let figure7 =
+  [ star 2; star 3; c3_star; diamond; two_triangle; three_triangle; basket ]
+
+let to_graph t = Dsd_graph.Graph.of_edges ~n:t.size t.edges
+
+let automorphisms t =
+  (* Brute-force over permutations preserving the edge set; patterns
+     have <= 6 vertices so this is at most 720 checks. *)
+  let k = t.size in
+  let perm = Array.make k (-1) in
+  let used = Array.make k false in
+  let count = ref 0 in
+  let edge_ok u v = t.adj.(u).(v) in
+  let rec go i =
+    if i = k then begin
+      let ok = ref true in
+      Array.iter
+        (fun (u, v) -> if not (edge_ok perm.(u) perm.(v)) then ok := false)
+        t.edges;
+      (* An edge-preserving bijection between graphs with equal edge
+         counts is automatically edge-reflecting. *)
+      if !ok then incr count
+    end
+    else
+      for v = 0 to k - 1 do
+        if not used.(v) then begin
+          used.(v) <- true;
+          perm.(i) <- v;
+          go (i + 1);
+          used.(v) <- false
+        end
+      done
+  in
+  go 0;
+  !count
+
+let pp fmt t =
+  Format.fprintf fmt "@[%s (|V|=%d, |E|=%d)@]" t.name t.size (edge_count t)

@@ -1,0 +1,76 @@
+(** Pattern graphs Psi (Section 7): small connected simple graphs whose
+    instances in a data graph define pattern-density.
+
+    An h-clique is a pattern; the named patterns below are the Figure 7
+    evaluation set, with the concrete edge lists documented in
+    DESIGN.md §3 (the paper only draws them).  All algorithms are
+    generic in the pattern; [kind] additionally classifies the shapes
+    that admit the Appendix-D fast decomposition paths. *)
+
+type kind =
+  | Clique              (** complete graph on [size] vertices *)
+  | Star of int         (** centre plus [x] tails (the x-star) *)
+  | Cycle4              (** the 4-cycle; the paper's "diamond" *)
+  | Generic
+
+type t = private {
+  name : string;
+  size : int;                  (** |V_Psi| *)
+  edges : (int * int) array;   (** canonical, u < v, sorted *)
+  adj : bool array array;
+  kind : kind;
+}
+
+(** [make ~name ~size edges] builds a pattern.
+    @raise Invalid_argument if the edge set is empty, has out-of-range
+    endpoints, self loops, or does not connect all [size] vertices. *)
+val make : name:string -> size:int -> (int * int) list -> t
+
+(** {1 The evaluation patterns} *)
+
+(** The h-clique pattern, h ≥ 2.  [clique 2] is the single edge,
+    [clique 3] the triangle. *)
+val clique : int -> t
+
+val edge : t
+val triangle : t
+
+(** Star with [x] ≥ 2 tails; [star 2] is the 2-star (path P3),
+    [star 3] the 3-star (K1,3). *)
+val star : int -> t
+
+(** Triangle with one pendant edge (the paw); Figure 7's c3-star. *)
+val c3_star : t
+
+(** The 4-cycle; the paper's "diamond" (see DESIGN.md §3). *)
+val diamond : t
+
+(** K4 minus one edge — two triangles sharing an edge; Figure 7's
+    2-triangle. *)
+val two_triangle : t
+
+(** Fan F_3: apex joined to a 4-path — three triangles sharing
+    consecutive edges; Figure 7's 3-triangle. *)
+val three_triangle : t
+
+(** The house graph (5-cycle plus a chord closing a triangle);
+    Figure 7's basket. *)
+val basket : t
+
+(** The seven Figure 7 patterns in paper order. *)
+val figure7 : t list
+
+(** {1 Queries} *)
+
+val degree : t -> int -> int
+val mem_edge : t -> int -> int -> bool
+val edge_count : t -> int
+
+(** [to_graph p] views the pattern itself as a data graph. *)
+val to_graph : t -> Dsd_graph.Graph.t
+
+(** [automorphisms p] is |Aut(Psi)| (edge-preserving self-bijections);
+    used to cross-check instance deduplication in tests. *)
+val automorphisms : t -> int
+
+val pp : Format.formatter -> t -> unit

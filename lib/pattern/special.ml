@@ -1,0 +1,67 @@
+module Sub = Dsd_graph.Subgraph
+module Binom = Dsd_util.Binom
+
+let star_degree live ~x v =
+  let dv = Sub.live_degree live v in
+  let acc = ref (Binom.choose dv x) in
+  Sub.iter_live_neighbors live v ~f:(fun u ->
+      acc := !acc + Binom.choose (Sub.live_degree live u - 1) (x - 1));
+  !acc
+
+let star_degrees live ~x =
+  let n = Dsd_graph.Graph.n (Sub.base live) in
+  Array.init n (fun v -> if Sub.alive live v then star_degree live ~x v else 0)
+
+let star_on_delete live ~x ~v ~apply =
+  let dv = Sub.live_degree live v in
+  Sub.iter_live_neighbors live v ~f:(fun u ->
+      let du = Sub.live_degree live u in
+      (* v-centred stars containing tail u, plus u-centred stars
+         containing tail v. *)
+      let delta = Binom.choose (dv - 1) (x - 1) + Binom.choose (du - 1) (x - 1) in
+      if delta > 0 then apply u delta;
+      (* u-centred stars containing both tails v and w die too. *)
+      let co = Binom.choose (du - 2) (x - 2) in
+      if co > 0 then
+        Sub.iter_live_neighbors live u ~f:(fun w -> if w <> v then apply w co))
+
+(* Common-alive-neighbour counts from v: returns the list of
+   (w, codeg(v, w)) for every w <> v reachable by a live length-2 walk.
+   Uses a scratch table keyed by w. *)
+let codegrees live v =
+  let tbl = Hashtbl.create 64 in
+  Sub.iter_live_neighbors live v ~f:(fun u ->
+      Sub.iter_live_neighbors live u ~f:(fun w ->
+          if w <> v then begin
+            let c = try Hashtbl.find tbl w with Not_found -> 0 in
+            Hashtbl.replace tbl w (c + 1)
+          end));
+  tbl
+
+let c4_degree live v =
+  let acc = ref 0 in
+  Hashtbl.iter
+    (fun _w c -> acc := !acc + Binom.choose c 2)
+    (codegrees live v);
+  !acc
+
+let c4_degrees live =
+  let n = Dsd_graph.Graph.n (Sub.base live) in
+  Array.init n (fun v -> if Sub.alive live v then c4_degree live v else 0)
+
+let c4_on_delete live ~v ~apply =
+  let tbl = codegrees live v in
+  Hashtbl.iter
+    (fun w c ->
+      if c >= 2 then begin
+        (* All C(c,2) cycles with diagonal (v, w) die: w loses every
+           one of them ... *)
+        apply w (Binom.choose c 2);
+        (* ... and each common neighbour x is paired with the other
+           c - 1 midpoints. *)
+        Sub.iter_live_neighbors live v ~f:(fun x ->
+            if x <> w && Sub.alive live x
+               && Dsd_graph.Graph.mem_edge (Sub.base live) x w
+            then apply x (c - 1))
+      end)
+    tbl

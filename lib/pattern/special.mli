@@ -1,0 +1,43 @@
+(** Appendix-D fast paths for star and diamond (4-cycle) patterns.
+
+    Generic pattern peeling materialises every instance, which for
+    x-stars explodes combinatorially (a degree-d hub carries C(d, x)
+    instances).  Stars and 4-cycles admit closed-form pattern-degrees
+    from local degree/co-degree information, and O(d^2) decrement rules
+    on vertex deletion, reducing (k, Psi)-core decomposition from
+    O(n * d^x) to O(n * d^2).
+
+    All functions operate on a live {!Dsd_graph.Subgraph.t} view so the
+    peeling loop in [Dsd_core.Clique_core] can drive them directly.
+    The [*_on_delete] callbacks must be invoked *before* the vertex is
+    deleted from the view. *)
+
+(** [star_degree live ~x v] is the number of live x-star instances
+    containing the alive vertex [v]: C(d_v, x) as centre plus
+    sum over alive neighbours u of C(d_u - 1, x - 1) as a tail. *)
+val star_degree : Dsd_graph.Subgraph.t -> x:int -> int -> int
+
+(** [star_degrees live ~x] evaluates {!star_degree} on every alive
+    vertex (dead vertices get 0). *)
+val star_degrees : Dsd_graph.Subgraph.t -> x:int -> int array
+
+(** [star_on_delete live ~x ~v ~apply] reports, for every alive vertex
+    [u <> v] whose x-star degree drops when [v] is deleted, the
+    decrement via [apply u delta].  A vertex may be reported more than
+    once; deltas accumulate. *)
+val star_on_delete :
+  Dsd_graph.Subgraph.t -> x:int -> v:int -> apply:(int -> int -> unit) -> unit
+
+(** [c4_degree live v] is the number of live 4-cycles through [v]:
+    sum over w of C(codeg(v, w), 2), where codeg counts common alive
+    neighbours. *)
+val c4_degree : Dsd_graph.Subgraph.t -> int -> int
+
+val c4_degrees : Dsd_graph.Subgraph.t -> int array
+
+(** [c4_on_delete live ~v ~apply] is the 4-cycle analogue of
+    {!star_on_delete}: the diagonal partner w of each dying cycle loses
+    C(codeg, 2) in aggregate and each common neighbour loses
+    codeg - 1. *)
+val c4_on_delete :
+  Dsd_graph.Subgraph.t -> v:int -> apply:(int -> int -> unit) -> unit

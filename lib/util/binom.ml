@@ -1,0 +1,30 @@
+let choose n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    (* C(n,k) = prod_{i=1..k} (n-k+i)/i, exact at every step because the
+       running product of i consecutive ratios is itself a binomial. *)
+    let acc = ref 1 in
+    (try
+       for i = 1 to k do
+         let next_num = n - k + i in
+         if !acc > max_int / next_num then begin
+           acc := max_int;
+           raise Exit
+         end;
+         acc := !acc * next_num / i
+       done
+     with Exit -> ());
+    !acc
+  end
+
+let choose_float n k =
+  if k < 0 || k > n then 0.
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1. in
+    for i = 1 to k do
+      acc := !acc *. float_of_int (n - k + i) /. float_of_int i
+    done;
+    !acc
+  end

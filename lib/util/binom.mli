@@ -1,0 +1,13 @@
+(** Binomial coefficients with overflow saturation.
+
+    Clique-degree upper bounds in CoreApp are C(core, h-1), which for
+    large cores and h = 6 exceeds 63-bit range on paper-scale inputs;
+    saturating at [max_int] keeps the bounds sound (they are only ever
+    used as upper bounds). *)
+
+(** [choose n k] is C(n, k), saturating at [max_int]; 0 when [k < 0]
+    or [k > n]. *)
+val choose : int -> int -> int
+
+(** [choose_float n k] is C(n, k) as a float (for statistics). *)
+val choose_float : int -> int -> float

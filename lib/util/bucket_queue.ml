@@ -1,0 +1,87 @@
+(* Buckets are intrusive doubly-linked lists threaded through the
+   [next]/[prev] arrays; [head.(k)] is the first item with key [k] (or
+   -1).  [floor_hint] only ever lags the true minimum key, so [pop_min]
+   scans forward from it; peeling workloads keep the scan amortised
+   O(1) because the hint is reset on every key decrease. *)
+
+type t = {
+  head : int array;            (* key -> first item, -1 if empty *)
+  next : int array;            (* item -> next item in its bucket *)
+  prev : int array;            (* item -> previous item, -1 if head *)
+  keys : int array;            (* item -> key *)
+  present : bool array;
+  mutable floor_hint : int;    (* lower bound on the minimum live key *)
+  mutable card : int;
+  max_key : int;
+}
+
+let create ~n ~max_key =
+  if n < 0 || max_key < 0 then invalid_arg "Bucket_queue.create";
+  {
+    head = Array.make (max_key + 1) (-1);
+    next = Array.make (max 1 n) (-1);
+    prev = Array.make (max 1 n) (-1);
+    keys = Array.make (max 1 n) 0;
+    present = Array.make (max 1 n) false;
+    floor_hint = 0;
+    card = 0;
+    max_key;
+  }
+
+let mem t item = t.present.(item)
+
+let key t item =
+  if not t.present.(item) then invalid_arg "Bucket_queue.key: absent item";
+  t.keys.(item)
+
+let cardinal t = t.card
+
+let link t item k =
+  let h = t.head.(k) in
+  t.next.(item) <- h;
+  t.prev.(item) <- -1;
+  if h >= 0 then t.prev.(h) <- item;
+  t.head.(k) <- item;
+  t.keys.(item) <- k
+
+let unlink t item =
+  let k = t.keys.(item) in
+  let p = t.prev.(item) and nx = t.next.(item) in
+  if p >= 0 then t.next.(p) <- nx else t.head.(k) <- nx;
+  if nx >= 0 then t.prev.(nx) <- p
+
+let add t ~item ~key =
+  if t.present.(item) then invalid_arg "Bucket_queue.add: duplicate item";
+  if key < 0 || key > t.max_key then invalid_arg "Bucket_queue.add: key out of range";
+  t.present.(item) <- true;
+  t.card <- t.card + 1;
+  if key < t.floor_hint then t.floor_hint <- key;
+  link t item key
+
+let remove t item =
+  if not t.present.(item) then invalid_arg "Bucket_queue.remove: absent item";
+  unlink t item;
+  t.present.(item) <- false;
+  t.card <- t.card - 1
+
+let update t ~item ~key =
+  if not t.present.(item) then invalid_arg "Bucket_queue.update: absent item";
+  if key < 0 || key > t.max_key then invalid_arg "Bucket_queue.update: key out of range";
+  if key <> t.keys.(item) then begin
+    unlink t item;
+    link t item key;
+    if key < t.floor_hint then t.floor_hint <- key
+  end
+
+let pop_min t =
+  if t.card = 0 then None
+  else begin
+    let k = ref t.floor_hint in
+    while t.head.(!k) < 0 do
+      incr k
+    done;
+    t.floor_hint <- !k;
+    let item = t.head.(!k) in
+    remove t item;
+    Some (item, !k)
+  end

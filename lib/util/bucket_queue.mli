@@ -1,0 +1,36 @@
+(** Monotone bucket priority queue over items [0 .. n-1] with integer
+    keys [0 .. max_key].
+
+    This is the classic O(n + m) "bin sort" structure behind the
+    Batagelj-Zaversnik k-core algorithm and all peeling loops in this
+    library: [pop_min] is amortised O(1) as long as keys only decrease
+    between pops (which peeling guarantees); [update] itself is O(1)
+    unconditionally. *)
+
+type t
+
+(** [create ~n ~max_key] makes an empty queue for items [0..n-1] and
+    keys [0..max_key]. *)
+val create : n:int -> max_key:int -> t
+
+(** [add t ~item ~key] inserts [item].  [item] must not be present. *)
+val add : t -> item:int -> key:int -> unit
+
+(** [mem t item] tests presence. *)
+val mem : t -> int -> bool
+
+(** [key t item] is the current key of a present [item]. *)
+val key : t -> int -> int
+
+(** [cardinal t] is the number of items currently queued. *)
+val cardinal : t -> int
+
+(** [update t ~item ~key] moves a present [item] to a new bucket. *)
+val update : t -> item:int -> key:int -> unit
+
+(** [remove t item] deletes a present [item]. *)
+val remove : t -> int -> unit
+
+(** [pop_min t] removes and returns a minimum-key item with its key, or
+    [None] when empty. *)
+val pop_min : t -> (int * int) option

@@ -1,0 +1,102 @@
+(* Binary heap of (key, item) pairs in two parallel int vectors; the
+   authoritative key of an item lives in [keys], so any heap entry
+   whose key disagrees is stale and dropped on pop. *)
+
+type t = {
+  hkeys : Vec.Int.t;
+  hitems : Vec.Int.t;
+  keys : int array;
+  present : bool array;
+  mutable card : int;
+}
+
+let create ~n =
+  {
+    hkeys = Vec.Int.create ~capacity:(max 16 n) ();
+    hitems = Vec.Int.create ~capacity:(max 16 n) ();
+    keys = Array.make (max 1 n) 0;
+    present = Array.make (max 1 n) false;
+    card = 0;
+  }
+
+let mem t item = t.present.(item)
+
+let key t item =
+  if not t.present.(item) then invalid_arg "Lazy_heap.key: absent item";
+  t.keys.(item)
+
+let cardinal t = t.card
+
+let swap t i j =
+  let k = Vec.Int.get t.hkeys i and it = Vec.Int.get t.hitems i in
+  Vec.Int.set t.hkeys i (Vec.Int.get t.hkeys j);
+  Vec.Int.set t.hitems i (Vec.Int.get t.hitems j);
+  Vec.Int.set t.hkeys j k;
+  Vec.Int.set t.hitems j it
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if Vec.Int.get t.hkeys i < Vec.Int.get t.hkeys parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let len = Vec.Int.length t.hkeys in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < len && Vec.Int.get t.hkeys l < Vec.Int.get t.hkeys !smallest then
+    smallest := l;
+  if r < len && Vec.Int.get t.hkeys r < Vec.Int.get t.hkeys !smallest then
+    smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push_entry t ~item ~key =
+  Vec.Int.push t.hkeys key;
+  Vec.Int.push t.hitems item;
+  sift_up t (Vec.Int.length t.hkeys - 1)
+
+let add t ~item ~key =
+  if t.present.(item) then invalid_arg "Lazy_heap.add: duplicate item";
+  t.present.(item) <- true;
+  t.keys.(item) <- key;
+  t.card <- t.card + 1;
+  push_entry t ~item ~key
+
+let update t ~item ~key =
+  if not t.present.(item) then invalid_arg "Lazy_heap.update: absent item";
+  if t.keys.(item) <> key then begin
+    t.keys.(item) <- key;
+    push_entry t ~item ~key
+  end
+
+let remove t item =
+  if not t.present.(item) then invalid_arg "Lazy_heap.remove: absent item";
+  t.present.(item) <- false;
+  t.card <- t.card - 1
+
+let pop_heap_top t =
+  let last = Vec.Int.length t.hkeys - 1 in
+  let k = Vec.Int.get t.hkeys 0 and it = Vec.Int.get t.hitems 0 in
+  swap t 0 last;
+  ignore (Vec.Int.pop t.hkeys);
+  ignore (Vec.Int.pop t.hitems);
+  if Vec.Int.length t.hkeys > 0 then sift_down t 0;
+  (it, k)
+
+let rec pop_min t =
+  if t.card = 0 then None
+  else begin
+    let item, k = pop_heap_top t in
+    if t.present.(item) && t.keys.(item) = k then begin
+      t.present.(item) <- false;
+      t.card <- t.card - 1;
+      Some (item, k)
+    end
+    else pop_min t
+  end

@@ -1,0 +1,72 @@
+(* Splitmix64: a tiny, high-quality, splittable PRNG.  Reference:
+   Steele, Lea, Flood, "Fast splittable pseudorandom number generators"
+   (OOPSLA'14).  State is a single 64-bit counter advanced by the golden
+   gamma; output is a finalising mix of the state. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  (* Derive a decorrelated child by mixing one draw with a distinct
+     finaliser round. *)
+  { state = mix64 (Int64.logxor (bits64 t) 0xD1B54A32D192ED03L) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits to avoid modulo bias. *)
+  let rec go () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    let v = r mod bound in
+    if r - v + (bound - 1) >= 0 then v else go ()
+  in
+  go ()
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let pair_distinct t n =
+  if n < 2 then invalid_arg "Prng.pair_distinct: need n >= 2";
+  let a = int t n in
+  let b = int t (n - 1) in
+  (a, if b >= a then b + 1 else b)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))
+
+let geometric t p =
+  if not (p > 0. && p <= 1.) then invalid_arg "Prng.geometric: p must be in (0,1]";
+  if p = 1. then 0
+  else
+    let u = float t 1.0 in
+    let u = if u <= 0. then epsilon_float else u in
+    (* Clamp before the float->int conversion: for extreme p the ratio
+       can exceed the integer range and int_of_float would be
+       unspecified. *)
+    let skips = floor (log u /. log (1. -. p)) in
+    if skips >= 1e18 then max_int else int_of_float skips

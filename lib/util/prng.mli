@@ -1,0 +1,47 @@
+(** Deterministic pseudo-random number generator.
+
+    All randomised components of the library (graph generators, property
+    tests, benchmark workloads) draw from this splitmix64-based PRNG so
+    that every run of every experiment is reproducible from a single
+    integer seed.  The stdlib [Random] module is deliberately not used:
+    its sequence is not stable across OCaml releases. *)
+
+type t
+
+(** [create seed] makes an independent generator.  Equal seeds give
+    equal streams. *)
+val create : int -> t
+
+(** [copy t] snapshots the generator state. *)
+val copy : t -> t
+
+(** [split t] derives a fresh generator whose stream is independent of
+    the remainder of [t]'s stream (useful to decorrelate subsystems). *)
+val split : t -> t
+
+(** [bits64 t] returns 64 uniformly random bits. *)
+val bits64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be > 0. *)
+val int : t -> int -> int
+
+(** [float t bound] is uniform in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [pair_distinct t n] returns two distinct uniform values in
+    [\[0, n)].  [n] must be ≥ 2. *)
+val pair_distinct : t -> int -> int * int
+
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [choose t a] picks a uniform element of the non-empty array [a]. *)
+val choose : t -> 'a array -> 'a
+
+(** [geometric t p] samples a geometric variate with success
+    probability [p] ∈ (0, 1]: the number of failures before the first
+    success. *)
+val geometric : t -> float -> int

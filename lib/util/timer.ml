@@ -1,0 +1,30 @@
+let now_s () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now_s () in
+  let r = f () in
+  (r, now_s () -. t0)
+
+module Span = struct
+  type t = { mutable total : float; mutable started_at : float option }
+
+  let create () = { total = 0.; started_at = None }
+
+  let start t =
+    match t.started_at with
+    | Some _ -> invalid_arg "Timer.Span.start: already running"
+    | None -> t.started_at <- Some (now_s ())
+
+  let stop t =
+    match t.started_at with
+    | None -> invalid_arg "Timer.Span.stop: not running"
+    | Some s ->
+      t.total <- t.total +. (now_s () -. s);
+      t.started_at <- None
+
+  let total_s t = t.total
+
+  let reset t =
+    t.total <- 0.;
+    t.started_at <- None
+end

@@ -1,0 +1,24 @@
+(** Wall-clock timing helpers for the benchmark harness and the
+    instrumentation hooks inside [Core_exact] (Table 3 reports the
+    fraction of time spent in core decomposition). *)
+
+(** [now_s ()] is a monotonic timestamp in seconds. *)
+val now_s : unit -> float
+
+(** [time f] runs [f ()] and returns its result with the elapsed
+    wall-clock seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** A restartable accumulator of elapsed time. *)
+module Span : sig
+  type t
+
+  val create : unit -> t
+  val start : t -> unit
+  val stop : t -> unit
+
+  (** Total accumulated seconds across all start/stop intervals. *)
+  val total_s : t -> float
+
+  val reset : t -> unit
+end

@@ -1,0 +1,17 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used for connected-component bookkeeping in generators and tests. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+
+(** [union t a b] merges the sets of [a] and [b]; returns [true] iff
+    they were previously distinct. *)
+val union : t -> int -> int -> bool
+
+val same : t -> int -> int -> bool
+
+(** [count t] is the current number of disjoint sets. *)
+val count : t -> int

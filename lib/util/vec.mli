@@ -1,0 +1,36 @@
+(** Growable arrays of unboxed ints and floats.
+
+    Used on hot paths (flow-network arcs, instance postings) where
+    OCaml lists or [Buffer]-style structures would box or fragment. *)
+
+module Int : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val get : t -> int -> int
+  val set : t -> int -> int -> unit
+  val push : t -> int -> unit
+
+  (** [pop t] removes and returns the last element.
+      @raise Invalid_argument on an empty vector. *)
+  val pop : t -> int
+
+  val clear : t -> unit
+  val to_array : t -> int array
+  val of_array : int array -> t
+  val iter : (int -> unit) -> t -> unit
+  val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+end
+
+module Float : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val get : t -> int -> float
+  val set : t -> int -> float -> unit
+  val push : t -> float -> unit
+  val clear : t -> unit
+  val to_array : t -> float array
+end

@@ -1,0 +1,126 @@
+(* Generators and named datasets: determinism, parameter adherence,
+   and the structural properties the benchmarks rely on. *)
+
+module G = Dsd_graph.Graph
+module Gen = Dsd_data.Gen
+
+let test_er_gnp_determinism () =
+  let a = Gen.er_gnp ~seed:1 ~n:500 ~p:0.01 in
+  let b = Gen.er_gnp ~seed:1 ~n:500 ~p:0.01 in
+  Alcotest.(check bool) "same graph" true (G.equal a b);
+  let c = Gen.er_gnp ~seed:2 ~n:500 ~p:0.01 in
+  Alcotest.(check bool) "different seed differs" false (G.equal a c)
+
+let test_er_gnp_edge_count () =
+  let n = 400 and p = 0.05 in
+  let g = Gen.er_gnp ~seed:7 ~n ~p in
+  let expected = p *. float_of_int (n * (n - 1) / 2) in
+  let m = float_of_int (G.m g) in
+  Alcotest.(check bool) "within 20% of expectation" true
+    (m > 0.8 *. expected && m < 1.2 *. expected)
+
+let test_er_gnp_extremes () =
+  let empty = Gen.er_gnp ~seed:1 ~n:50 ~p:0.0 in
+  Alcotest.(check int) "p=0" 0 (G.m empty);
+  let full = Gen.er_gnp ~seed:1 ~n:20 ~p:1.0 in
+  Alcotest.(check int) "p=1" 190 (G.m full)
+
+let test_er_gnm () =
+  let g = Gen.er_gnm ~seed:3 ~n:100 ~m:321 in
+  Alcotest.(check int) "exact edge count" 321 (G.m g)
+
+let test_rmat () =
+  let g = Gen.rmat ~seed:4 ~scale:10 ~edge_factor:8 () in
+  Alcotest.(check int) "n" 1024 (G.n g);
+  Alcotest.(check bool) "edges present" true (G.m g > 1000);
+  (* Power-law-ish: the max degree dwarfs the average. *)
+  let avg = 2. *. float_of_int (G.m g) /. float_of_int (G.n g) in
+  Alcotest.(check bool) "skewed degrees" true
+    (float_of_int (G.max_degree g) > 4. *. avg)
+
+let test_ssca_contains_cliques () =
+  let g = Gen.ssca ~seed:5 ~n:2000 ~max_clique:10 in
+  (* Clique blocks make the degeneracy at least max block size - 1 for
+     some block; with 2000 vertices a size-10 block is essentially
+     certain. *)
+  let d = Dsd_graph.Degeneracy.compute g in
+  Alcotest.(check bool) "degeneracy from blocks" true (d.degeneracy >= 8)
+
+let test_barabasi_albert () =
+  let g = Gen.barabasi_albert ~seed:6 ~n:3000 ~attach:3 in
+  Alcotest.(check int) "n" 3000 (G.n g);
+  let d = Dsd_graph.Degeneracy.compute g in
+  Alcotest.(check bool) "degeneracy <= attach" true (d.degeneracy <= 3);
+  Alcotest.(check bool) "hub exists" true (G.max_degree g > 20);
+  let _, cc = Dsd_graph.Traversal.components g in
+  Alcotest.(check int) "connected" 1 cc
+
+let test_chung_lu_power_law () =
+  let g = Gen.power_law_chung_lu ~seed:7 ~n:5000 ~alpha:2.3 ~avg_deg:6. in
+  let avg = 2. *. float_of_int (G.m g) /. float_of_int (G.n g) in
+  Alcotest.(check bool) "avg degree in range" true (avg > 2. && avg < 8.);
+  let alpha = Dsd_util.Stats.power_law_alpha (G.degrees g) in
+  Alcotest.(check bool) "heavy tail estimated" true (alpha > 1.5 && alpha < 4.)
+
+let test_planted_clique_is_densest () =
+  let g = Gen.planted_clique ~seed:8 ~n:400 ~p:0.01 ~clique:15 in
+  let r = Dsd_core.Core_exact.run g Dsd_pattern.Pattern.edge in
+  Alcotest.(check (list int)) "planted block found"
+    (List.init 15 Fun.id)
+    (Helpers.int_array_as_set r.Dsd_core.Core_exact.subgraph.Dsd_core.Density.vertices)
+
+let test_communities_structure () =
+  let g = Gen.communities ~seed:9 ~n:120 ~communities:4 ~p_in:0.5 ~p_out:0.01 in
+  (* Intra-block edges dominate. *)
+  let intra = ref 0 and inter = ref 0 in
+  G.iter_edges g ~f:(fun u v ->
+      if u mod 4 = v mod 4 then incr intra else incr inter);
+  Alcotest.(check bool) "communities dominate" true (!intra > 4 * !inter)
+
+let test_datasets_registry () =
+  Alcotest.(check bool) "yeast exists" true (Dsd_data.Datasets.mem "yeast");
+  Alcotest.(check bool) "unknown absent" false (Dsd_data.Datasets.mem "nope");
+  Alcotest.(check (list string)) "small group"
+    [ "yeast"; "netscience"; "as733"; "ca_hepth"; "as_caida" ]
+    (Dsd_data.Datasets.names_of_group Dsd_data.Datasets.Small);
+  (* Memoisation returns the same physical graph. *)
+  let a = Dsd_data.Datasets.graph "yeast" in
+  let b = Dsd_data.Datasets.graph "yeast" in
+  Alcotest.(check bool) "memoised" true (a == b);
+  Alcotest.(check bool) "plausible size" true
+    (G.n a > 500 && G.n a < 2000)
+
+let test_sdblp_case_study_shape () =
+  let g = Dsd_data.Datasets.graph "sdblp" in
+  Alcotest.(check int) "n" 478 (G.n g);
+  (* The planted near-clique should be the triangle-densest subgraph,
+     and the hub should dominate 2-star density. *)
+  let tri = Dsd_core.Core_exact.run g Dsd_pattern.Pattern.triangle in
+  let tri_set =
+    Helpers.int_array_as_set tri.Dsd_core.Core_exact.subgraph.Dsd_core.Density.vertices
+  in
+  Alcotest.(check bool) "triangle PDS hits the near-clique" true
+    (List.for_all (fun v -> List.mem v tri_set) [ 3; 4; 5; 6; 7; 8 ]);
+  let star = Dsd_core.Core_pexact.run g (Dsd_pattern.Pattern.star 2) in
+  let star_set =
+    Helpers.int_array_as_set star.Dsd_core.Core_exact.subgraph.Dsd_core.Density.vertices
+  in
+  Alcotest.(check bool) "2-star PDS contains the big hub" true
+    (List.mem 20 star_set);
+  Alcotest.(check bool) "the two PDSs differ" true (tri_set <> star_set)
+
+let suite =
+  [
+    Alcotest.test_case "er gnp determinism" `Quick test_er_gnp_determinism;
+    Alcotest.test_case "er gnp edge count" `Quick test_er_gnp_edge_count;
+    Alcotest.test_case "er gnp extremes" `Quick test_er_gnp_extremes;
+    Alcotest.test_case "er gnm" `Quick test_er_gnm;
+    Alcotest.test_case "rmat" `Quick test_rmat;
+    Alcotest.test_case "ssca cliques" `Quick test_ssca_contains_cliques;
+    Alcotest.test_case "barabasi-albert" `Quick test_barabasi_albert;
+    Alcotest.test_case "chung-lu power law" `Quick test_chung_lu_power_law;
+    Alcotest.test_case "planted clique densest" `Slow test_planted_clique_is_densest;
+    Alcotest.test_case "communities" `Quick test_communities_structure;
+    Alcotest.test_case "datasets registry" `Quick test_datasets_registry;
+    Alcotest.test_case "sdblp case study shape" `Slow test_sdblp_case_study_shape;
+  ]

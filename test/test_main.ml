@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "dsd"
+    [
+      ("util", Test_util.suite);
+      ("graph", Test_graph.suite);
+      ("flow", Test_flow.suite);
+      ("clique", Test_clique.suite);
+      ("pattern", Test_pattern.suite);
+      ("core-decomp", Test_core_decomp.suite);
+      ("flow-build", Test_flow_build.suite);
+      ("exact", Test_exact.suite);
+      ("approx", Test_approx.suite);
+      ("pds", Test_pds.suite);
+      ("data", Test_data.suite);
+      ("query", Test_query.suite);
+      ("extensions", Test_extensions.suite);
+      ("future-work", Test_future_work.suite);
+      ("ld-decomposition", Test_ld.suite);
+      ("directed", Test_directed.suite);
+    ]

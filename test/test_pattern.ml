@@ -1,0 +1,214 @@
+(* Pattern library tests: shape recognition, automorphisms, instance
+   counting on known graphs, matcher-vs-clique-lister agreement, and
+   the Appendix-D star/4-cycle fast paths vs generic enumeration. *)
+
+module G = Dsd_graph.Graph
+module P = Dsd_pattern.Pattern
+module M = Dsd_pattern.Match
+module S = Dsd_pattern.Special
+module Sub = Dsd_graph.Subgraph
+
+let test_recognize () =
+  Alcotest.(check bool) "edge is clique" true (P.edge.kind = P.Clique);
+  Alcotest.(check bool) "triangle is clique" true (P.triangle.kind = P.Clique);
+  (match (P.star 2).kind with
+   | P.Star 2 -> ()
+   | _ -> Alcotest.fail "2-star not recognised");
+  (match (P.star 3).kind with
+   | P.Star 3 -> ()
+   | _ -> Alcotest.fail "3-star not recognised");
+  Alcotest.(check bool) "diamond is C4" true (P.diamond.kind = P.Cycle4);
+  Alcotest.(check bool) "paw generic" true (P.c3_star.kind = P.Generic);
+  Alcotest.(check bool) "2-triangle generic" true (P.two_triangle.kind = P.Generic);
+  (* User-built patterns are recognised structurally too. *)
+  let my_star = P.make ~name:"mine" ~size:4 [ (2, 0); (2, 1); (2, 3) ] in
+  (match my_star.kind with
+   | P.Star 3 -> ()
+   | _ -> Alcotest.fail "relabelled star not recognised");
+  let my_c4 = P.make ~name:"sq" ~size:4 [ (0, 2); (2, 1); (1, 3); (3, 0) ] in
+  Alcotest.(check bool) "relabelled C4" true (my_c4.kind = P.Cycle4)
+
+let test_make_validation () =
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Pattern.make: pattern must be connected")
+    (fun () -> ignore (P.make ~name:"x" ~size:4 [ (0, 1); (2, 3) ]));
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Pattern.make: self loop")
+    (fun () -> ignore (P.make ~name:"x" ~size:2 [ (0, 0) ]))
+
+let test_automorphisms () =
+  Alcotest.(check int) "edge" 2 (P.automorphisms P.edge);
+  Alcotest.(check int) "triangle" 6 (P.automorphisms P.triangle);
+  Alcotest.(check int) "2-star" 2 (P.automorphisms (P.star 2));
+  Alcotest.(check int) "3-star" 6 (P.automorphisms (P.star 3));
+  Alcotest.(check int) "C4" 8 (P.automorphisms P.diamond);
+  Alcotest.(check int) "K4 minus edge" 4 (P.automorphisms P.two_triangle);
+  Alcotest.(check int) "paw" 2 (P.automorphisms P.c3_star);
+  Alcotest.(check int) "4-clique" 24 (P.automorphisms (P.clique 4))
+
+let test_counts_in_k4 () =
+  let k4 = G.complete 4 in
+  (* Every 4-vertex pattern's instance count inside K4 equals the
+     number of distinct edge-subsets of that shape. *)
+  Alcotest.(check int) "C4 in K4" 3 (M.count k4 P.diamond);
+  Alcotest.(check int) "K4-e in K4" 6 (M.count k4 P.two_triangle);
+  Alcotest.(check int) "paw in K4" 12 (M.count k4 P.c3_star);
+  Alcotest.(check int) "3-star in K4" 4 (M.count k4 (P.star 3));
+  Alcotest.(check int) "2-star in K4" 12 (M.count k4 (P.star 2));
+  Alcotest.(check int) "triangle via matcher" 4 (M.count k4 P.triangle)
+
+let test_counts_in_known_graphs () =
+  let c4 = Dsd_data.Paper_graphs.cycle 4 in
+  Alcotest.(check int) "C4 in C4" 1 (M.count c4 P.diamond);
+  Alcotest.(check int) "K4-e in C4" 0 (M.count c4 P.two_triangle);
+  let c5 = Dsd_data.Paper_graphs.cycle 5 in
+  Alcotest.(check int) "C4 in C5" 0 (M.count c5 P.diamond);
+  Alcotest.(check int) "2-star in C5" 5 (M.count c5 (P.star 2));
+  let p4 = Dsd_data.Paper_graphs.path 4 in
+  Alcotest.(check int) "2-star in P4" 2 (M.count p4 (P.star 2));
+  (* K4 minus an edge contains exactly one C4 (DESIGN.md §3's Example 6
+     argument). *)
+  let diamond_graph =
+    G.of_edge_list ~n:4 [ (0, 1); (0, 2); (1, 2); (1, 3); (2, 3) ]
+  in
+  Alcotest.(check int) "C4 in K4-e" 1 (M.count diamond_graph P.diamond);
+  Alcotest.(check int) "K4-e in K4-e" 1 (M.count diamond_graph P.two_triangle);
+  Alcotest.(check int) "paw in K4-e" 4 (M.count diamond_graph P.c3_star)
+
+let test_five_vertex_patterns () =
+  let k5 = G.complete 5 in
+  (* 3-triangle (fan: apex + path of 4) and basket (house) counts in K5
+     equal #embeddings / |Aut|. *)
+  List.iter
+    (fun psi ->
+      let embeddings = M.embeddings_count k5 psi in
+      let aut = P.automorphisms psi in
+      Alcotest.(check int)
+        (psi.P.name ^ " dedup = embeddings/aut")
+        (embeddings / aut) (M.count k5 psi);
+      Alcotest.(check int)
+        (psi.P.name ^ " embeddings divisible by aut")
+        0
+        (embeddings mod aut))
+    [ P.three_triangle; P.basket ]
+
+let embeddings_vs_dedup_prop psi g =
+  M.embeddings_count g psi = M.count g psi * P.automorphisms psi
+
+let test_degrees_sum_identity () =
+  let g = Helpers.random_graph ~seed:31 ~max_n:12 ~max_m:36 () in
+  List.iter
+    (fun psi ->
+      let deg = M.degrees g psi in
+      Alcotest.(check int)
+        (psi.P.name ^ " degree sum")
+        (psi.P.size * M.count g psi)
+        (Array.fold_left ( + ) 0 deg))
+    P.figure7
+
+let test_pattern_to_graph () =
+  let pg = P.to_graph P.two_triangle in
+  Alcotest.(check int) "n" 4 (G.n pg);
+  Alcotest.(check int) "m" 5 (G.m pg)
+
+(* --- Appendix D fast paths --- *)
+
+let star_degree_matches_match_prop x g =
+  let psi = P.star x in
+  let fast = S.star_degrees (Sub.of_graph g) ~x in
+  let slow = M.degrees g psi in
+  fast = slow
+
+let c4_degree_matches_match_prop g =
+  let fast = S.c4_degrees (Sub.of_graph g) in
+  let slow = M.degrees g P.diamond in
+  fast = slow
+
+(* Decrement rules: delete random vertices, apply the decrement
+   callbacks, compare against freshly computed degrees on the smaller
+   live graph. *)
+let star_on_delete_prop x seed =
+  let r = Dsd_util.Prng.create seed in
+  let g = Dsd_data.Gen.random_graph_for_tests r ~max_n:12 ~max_m:36 in
+  let live = Sub.of_graph g in
+  let degs = S.star_degrees live ~x in
+  let ok = ref true in
+  let steps = Dsd_util.Prng.int r (max 1 (G.n g)) in
+  for _ = 1 to steps do
+    let v = Dsd_util.Prng.int r (G.n g) in
+    if Sub.alive live v then begin
+      S.star_on_delete live ~x ~v ~apply:(fun u d -> degs.(u) <- degs.(u) - d);
+      Sub.delete live v;
+      degs.(v) <- 0
+    end
+  done;
+  let fresh = S.star_degrees live ~x in
+  for v = 0 to G.n g - 1 do
+    if Sub.alive live v && degs.(v) <> fresh.(v) then ok := false
+  done;
+  !ok
+
+let c4_on_delete_prop seed =
+  let r = Dsd_util.Prng.create seed in
+  let g = Dsd_data.Gen.random_graph_for_tests r ~max_n:12 ~max_m:36 in
+  let live = Sub.of_graph g in
+  let degs = S.c4_degrees live in
+  let ok = ref true in
+  let steps = Dsd_util.Prng.int r (max 1 (G.n g)) in
+  for _ = 1 to steps do
+    let v = Dsd_util.Prng.int r (G.n g) in
+    if Sub.alive live v then begin
+      S.c4_on_delete live ~v ~apply:(fun u d -> degs.(u) <- degs.(u) - d);
+      Sub.delete live v;
+      degs.(v) <- 0
+    end
+  done;
+  let fresh = S.c4_degrees live in
+  for v = 0 to G.n g - 1 do
+    if Sub.alive live v && degs.(v) <> fresh.(v) then ok := false
+  done;
+  !ok
+
+let test_star_degree_closed_form () =
+  (* Hub of K1,5: centre sees C(5,2) 2-stars; each leaf is a tail in 4
+     centre-stars... plus the leaf as centre has degree 1 < 2. *)
+  let star_graph = G.of_edge_list ~n:6 [ (0, 1); (0, 2); (0, 3); (0, 4); (0, 5) ] in
+  let deg = S.star_degrees (Sub.of_graph star_graph) ~x:2 in
+  Alcotest.(check int) "centre" 10 deg.(0);
+  Alcotest.(check int) "leaf" 4 deg.(1)
+
+let suite =
+  [
+    Alcotest.test_case "recognize kinds" `Quick test_recognize;
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "automorphism counts" `Quick test_automorphisms;
+    Alcotest.test_case "counts in K4" `Quick test_counts_in_k4;
+    Alcotest.test_case "counts in known graphs" `Quick test_counts_in_known_graphs;
+    Alcotest.test_case "5-vertex patterns in K5" `Quick test_five_vertex_patterns;
+    Helpers.qtest ~count:40 "embeddings = count * aut (paw)"
+      (Helpers.small_graph_arb ~max_n:9 ~max_m:25 ())
+      (embeddings_vs_dedup_prop P.c3_star);
+    Helpers.qtest ~count:40 "embeddings = count * aut (C4)"
+      (Helpers.small_graph_arb ~max_n:9 ~max_m:25 ())
+      (embeddings_vs_dedup_prop P.diamond);
+    Helpers.qtest ~count:40 "embeddings = count * aut (2-triangle)"
+      (Helpers.small_graph_arb ~max_n:9 ~max_m:25 ())
+      (embeddings_vs_dedup_prop P.two_triangle);
+    Alcotest.test_case "degree sum identity" `Quick test_degrees_sum_identity;
+    Alcotest.test_case "pattern to graph" `Quick test_pattern_to_graph;
+    Helpers.qtest ~count:60 "star degrees: fast = generic (x=2)"
+      (Helpers.small_graph_arb ~max_n:10 ~max_m:30 ())
+      (star_degree_matches_match_prop 2);
+    Helpers.qtest ~count:60 "star degrees: fast = generic (x=3)"
+      (Helpers.small_graph_arb ~max_n:10 ~max_m:30 ())
+      (star_degree_matches_match_prop 3);
+    Helpers.qtest ~count:60 "C4 degrees: fast = generic"
+      (Helpers.small_graph_arb ~max_n:10 ~max_m:30 ())
+      c4_degree_matches_match_prop;
+    Helpers.qtest ~count:80 "star decrement rule (x=2)" QCheck.small_int
+      (star_on_delete_prop 2);
+    Helpers.qtest ~count:80 "star decrement rule (x=3)" QCheck.small_int
+      (star_on_delete_prop 3);
+    Helpers.qtest ~count:80 "C4 decrement rule" QCheck.small_int c4_on_delete_prop;
+    Alcotest.test_case "star closed form" `Quick test_star_degree_closed_form;
+  ]

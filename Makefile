@@ -1,0 +1,31 @@
+# Convenience targets; CI should run `make check`.
+
+.PHONY: all build test fmt check bench-phases clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Formatting is checked only when ocamlformat is installed — the
+# toolchain image does not bake it in.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping @fmt"; \
+	fi
+
+check:
+	dune build @default @runtest
+	$(MAKE) fmt
+
+# Per-phase observability breakdown (Dsd_obs spans/counters).
+bench-phases:
+	dune exec bench/main.exe -- --only phases
+
+clean:
+	dune clean

@@ -841,6 +841,37 @@ let micro () =
   in
   benchmark ()
 
+(* ---- per-phase observability breakdown ---- *)
+
+(* Not a paper figure: the Dsd_obs span/counter fields future
+   BENCH_*.json entries carry.  One row per dataset x algorithm, the
+   payload being "<secs> decompose_s=... flow_s=... <counters>". *)
+let phases () =
+  H.section
+    "Per-phase breakdown — Dsd_obs spans/counters (decompose/enumerate/\
+     build/flow)";
+  let algos =
+    [ ("CoreExact", fun g h -> ignore (Dsd_core.Core_exact.run g (P.clique h)));
+      ("Exact", fun g h -> ignore (Dsd_core.Exact.run g (P.clique h)));
+      ("PeelApp", fun g h -> ignore (Dsd_core.Peel_app.run g (P.clique h))) ]
+  in
+  List.iter
+    (fun h ->
+      Printf.printf "\n[%s]\n" (clique_name h);
+      let rows =
+        List.concat_map
+          (fun name ->
+            let g = dataset name in
+            List.map
+              (fun (algo, run) ->
+                let cell = H.run_cell (fun () -> H.timed_obs (fun () -> run g h)) in
+                [ name; algo; H.show_payload cell ])
+              algos)
+          [ "as733"; "ca_hepth" ]
+      in
+      H.table ~header:[ "dataset"; "algorithm"; "time + per-phase fields" ] ~rows)
+    [ 2; 3 ]
+
 (* ---- registry ---- *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -851,6 +882,7 @@ let all : (string * string * (unit -> unit)) list =
     ("fig9", "Fig 9: flow network sizes in CoreExact", fig9);
     ("fig10", "Fig 10: pruning ablation", fig10);
     ("tab3", "Table 3: core decomposition share of CoreExact", tab3);
+    ("phases", "Dsd_obs per-phase span/counter breakdown", phases);
     ("tab4", "Table 4: EMcore vs CoreApp", tab4);
     ("fig11", "Fig 11: approximation ratios", fig11);
     ("fig12", "Fig 12: CoreExact vs CoreApp", fig12);

@@ -92,6 +92,26 @@ let timed f =
   let x = f () in
   (x, Unix.gettimeofday () -. t0)
 
+(* ---- observability ----
+
+   Cells run in forked children, so the global Dsd_obs state is
+   private to each cell: enable, run, and report without interfering
+   with sibling cells or the parent. *)
+
+(* [with_obs_fields f] runs [f] with recording on and returns its
+   result together with the one-line per-phase/counter `k=v` fields
+   (Dsd_obs.Report.kv_fields) — append these to BENCH payloads so
+   future BENCH_*.json rows carry a comparable phase breakdown. *)
+let with_obs_fields f =
+  let x = Dsd_obs.Control.with_recording f in
+  (x, Dsd_obs.Report.kv_fields ())
+
+(* [timed_obs f] = wall-clock seconds plus the per-phase fields, as
+   one payload line: "<secs> <k=v> <k=v> ...". *)
+let timed_obs f =
+  let (_, dt), fields = with_obs_fields (fun () -> timed f) in
+  Printf.sprintf "%f %s" dt fields
+
 (* ---- table printing ---- *)
 
 let rule widths =

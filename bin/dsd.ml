@@ -74,6 +74,40 @@ let pattern_arg =
              ~doc:"Density pattern: edge, triangle, 4/5/6-clique, 2/3-star, \
                    c3-star, diamond, 2-triangle, 3-triangle, basket.")
 
+(* ---- observability options ---- *)
+
+let stats_arg =
+  C.Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print the per-phase span/counter breakdown (core \
+                   decomposition vs. flow vs. clique enumeration) after \
+                   the result.")
+
+let trace_arg =
+  C.Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write structured trace events (one JSON object per \
+                   line) to $(docv).")
+
+(* Run [f] with recording turned on when --stats/--trace ask for it;
+   otherwise leave the no-op sink in place so the solvers run exactly
+   as unintrumented code. *)
+let with_obs ~stats ~trace f =
+  if not (stats || Option.is_some trace) then f ()
+  else begin
+    let chan = Option.map open_out trace in
+    let sink =
+      match chan with
+      | Some c -> Dsd_obs.Trace.jsonl c
+      | None -> Dsd_obs.Trace.null
+    in
+    let r = Dsd_obs.Control.with_recording ~sink f in
+    Option.iter close_out chan;
+    Option.iter (Printf.printf "trace      %s\n") trace;
+    if stats then print_string (Dsd_obs.Report.to_string ());
+    r
+  end
+
 (* ---- generate ---- *)
 
 let generate =
@@ -147,10 +181,13 @@ let decompose =
   let show_all =
     C.Arg.(value & flag & info [ "all" ] ~doc:"Print every vertex's core number.")
   in
-  let run input dataset pattern show_all =
+  let run input dataset pattern show_all stats trace =
     let g = load_graph input dataset in
     let psi = pattern_of_string pattern in
-    let decomp = Dsd_core.Clique_core.decompose ~track_density:false g psi in
+    let decomp =
+      with_obs ~stats ~trace (fun () ->
+          Dsd_core.Clique_core.decompose ~track_density:false g psi)
+    in
     Printf.printf "kmax = %d\n" decomp.Dsd_core.Clique_core.kmax;
     if show_all then
       Array.iteri
@@ -163,9 +200,10 @@ let decompose =
       print_newline ()
     end
   in
-  let run a b c d = or_die (fun () -> run a b c d) in
+  let run a b c d e f = or_die (fun () -> run a b c d e f) in
   C.Cmd.v (C.Cmd.info "decompose" ~doc:"(k, Psi)-core decomposition.")
-    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ show_all)
+    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ show_all
+            $ stats_arg $ trace_arg)
 
 (* ---- cds ---- *)
 
@@ -182,7 +220,7 @@ let cds =
                ~doc:"Also write the graph as Graphviz DOT with the found \
                      subgraph highlighted.")
   in
-  let run input dataset pattern algo dot =
+  let run input dataset pattern algo dot stats trace =
     let g = load_graph input dataset in
     let psi = pattern_of_string pattern in
     let name, solve =
@@ -200,7 +238,9 @@ let cds =
         Printf.eprintf "unknown algorithm %s\n" other;
         exit 2
     in
-    let (sg : Dsd_core.Density.subgraph), elapsed = Dsd_util.Timer.time solve in
+    let (sg : Dsd_core.Density.subgraph), elapsed =
+      with_obs ~stats ~trace (fun () -> Dsd_util.Timer.time solve)
+    in
     Printf.printf "algorithm  %s\n" name;
     Printf.printf "pattern    %s\n" psi.P.name;
     Printf.printf "density    %.6f\n" sg.density;
@@ -214,10 +254,11 @@ let cds =
         Printf.printf "wrote %s\n" path)
       dot
   in
-  let run a b c d e = or_die (fun () -> run a b c d e) in
+  let run a b c d e f g = or_die (fun () -> run a b c d e f g) in
   C.Cmd.v
     (C.Cmd.info "cds" ~doc:"Find the (approximately) densest subgraph.")
-    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ algo $ dot)
+    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ algo $ dot
+            $ stats_arg $ trace_arg)
 
 (* ---- query (Section 6.3 variant) ---- *)
 

@@ -37,17 +37,26 @@ let iter_prepared out ~h ~roots ~f =
   if h < 1 then invalid_arg "Kclist.iter_prepared: h must be >= 1";
   let buf = Array.make h 0 in
   let emit = Array.make h 0 in
+  (* Tally locally, publish once per call: with parallel striping each
+     stripe lands one atomic add instead of one per instance. *)
+  let emitted = ref 0 in
   let output () =
     Array.blit buf 0 emit 0 h;
     Array.sort compare emit;
+    incr emitted;
     f emit
   in
-  if h = 1 then
+  let flush_tally () =
+    Dsd_obs.Counter.add Dsd_obs.Counter.Clique_instances !emitted
+  in
+  if h = 1 then begin
     Array.iter
       (fun v ->
         buf.(0) <- v;
         output ())
-      roots
+      roots;
+    flush_tally ()
+  end
   else begin
     (* [depth] members are already chosen in buf.(0..depth-1); [cand]
        holds the common DAG out-neighbours of all of them. *)
@@ -69,7 +78,8 @@ let iter_prepared out ~h ~roots ~f =
       (fun v ->
         buf.(0) <- v;
         extend 1 out.(v))
-      roots
+      roots;
+    flush_tally ()
   end
 
 let iter g ~h ~f =

@@ -19,6 +19,12 @@ let stripes n domains =
    stripe on the calling domain) and merge the results. *)
 let map_stripes g ~domains ~(per_stripe : int array -> 'a) : 'a list =
   if domains < 1 then invalid_arg "Parallel: domains must be >= 1";
+  (* Each stripe runs under its own clique_stripe span: the obs
+     accumulator sums them across domains, so the span total reads as
+     aggregate stripe CPU time, not wall clock. *)
+  let per_stripe roots =
+    Dsd_obs.Span.with_ Dsd_obs.Phase.clique_stripe (fun () -> per_stripe roots)
+  in
   let parts = stripes (G.n g) domains in
   if domains = 1 then [ per_stripe parts.(0) ]
   else begin

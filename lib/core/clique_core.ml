@@ -33,6 +33,7 @@ let peel ~n ~mu_total ~track_density ~pop ~retire =
     match pop () with
     | None -> assert false
     | Some (v, deg) ->
+      Dsd_obs.Counter.incr Dsd_obs.Counter.Peeled_vertices;
       if deg > !run_max then run_max := deg;
       core.(v) <- !run_max;
       order.(i) <- v;
@@ -131,6 +132,7 @@ let decompose_special g ~degrees_of ~on_delete =
   (psize_sum, retire, heap)
 
 let decompose ?(track_density = true) g (psi : P.t) =
+  Dsd_obs.Span.with_ Dsd_obs.Phase.decompose @@ fun () ->
   let n = G.n g in
   let core_arr, order, kmax, best_density, best_start, residuals, mu_total =
     match psi.kind with

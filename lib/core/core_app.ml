@@ -22,6 +22,7 @@ let gamma g (psi : P.t) =
   | P.Generic -> Dsd_pattern.Match.degrees g psi
 
 let run ?initial_window g (psi : P.t) =
+  Dsd_obs.Span.with_ Dsd_obs.Phase.core_app @@ fun () ->
   let t0 = Dsd_util.Timer.now_s () in
   let n = G.n g in
   let initial_window =
@@ -40,6 +41,7 @@ let run ?initial_window g (psi : P.t) =
   let continue_ = ref (n > 0) in
   while !continue_ do
     incr rounds;
+    Dsd_obs.Counter.incr Dsd_obs.Counter.Core_iterations;
     let w_vertices = Array.sub order 0 !window in
     let gw, map = G.induced g w_vertices in
     let decomp = Clique_core.decompose ~track_density:false gw psi in

@@ -19,12 +19,10 @@ type result = {
   stats : stats;
 }
 
-(* ceil with a guard against float noise pushing an exact integer up a
-   level; under-rounding is safe (a lower k keeps the CDS inside the
-   core by nestedness). *)
-let safe_ceil x = int_of_float (Float.ceil (x -. 1e-9))
+let safe_ceil = Dsd_util.Float_guard.safe_ceil
 
 let run ?(prunings = all_prunings) ?(grouped = false) ?family g psi =
+  Dsd_obs.Span.with_ Dsd_obs.Phase.core_exact @@ fun () ->
   let t0 = Dsd_util.Timer.now_s () in
   let p = psi.Dsd_pattern.Pattern.size in
   let family =
@@ -102,6 +100,7 @@ let run ?(prunings = all_prunings) ?(grouped = false) ?family g psi =
     in
     let solve_network gc alpha ~instances =
       incr iterations;
+      Dsd_obs.Counter.incr Dsd_obs.Counter.Core_iterations;
       Dsd_util.Timer.Span.start flow_span;
       let network = Flow_build.build family gc psi ~instances ~alpha in
       network_nodes := network.node_count :: !network_nodes;

@@ -1,11 +1,13 @@
 module P = Dsd_pattern.Pattern
 
 let instances g (psi : P.t) =
+  Dsd_obs.Span.with_ Dsd_obs.Phase.enumerate @@ fun () ->
   match psi.kind with
   | P.Clique -> Dsd_clique.Kclist.list g ~h:psi.size
   | P.Star _ | P.Cycle4 | P.Generic -> Dsd_pattern.Match.instances g psi
 
 let count g (psi : P.t) =
+  Dsd_obs.Span.with_ Dsd_obs.Phase.enumerate @@ fun () ->
   match psi.kind with
   | P.Clique -> Dsd_clique.Kclist.count g ~h:psi.size
   | P.Star _ | P.Cycle4 | P.Generic -> Dsd_pattern.Match.count g psi

@@ -13,6 +13,7 @@ type result = {
 }
 
 let run ?family g psi =
+  Dsd_obs.Span.with_ Dsd_obs.Phase.exact @@ fun () ->
   let t0 = Dsd_util.Timer.now_s () in
   let n = G.n g in
   let family =
@@ -59,6 +60,7 @@ let run ?family g psi =
     let last_nodes = ref 0 in
     while !u -. !l >= gap do
       incr iterations;
+      Dsd_obs.Counter.incr Dsd_obs.Counter.Core_iterations;
       let alpha = (!l +. !u) /. 2. in
       let network = Flow_build.build family g psi ~instances ~alpha in
       last_nodes := network.node_count;

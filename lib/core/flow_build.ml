@@ -13,6 +13,7 @@ type t = {
 let vertex_node v = v + 1
 
 let solve t =
+  Dsd_obs.Span.with_ Dsd_obs.Phase.flow @@ fun () ->
   let _flow, side = Dsd_flow.Min_cut.solve t.net ~s:t.source ~t:t.sink in
   let out = Dsd_util.Vec.Int.create () in
   for v = 0 to t.n_vertices - 1 do
@@ -180,6 +181,8 @@ let auto_family (psi : P.t) ~grouped =
   | P.Star _ | P.Cycle4 | P.Generic -> if grouped then Pds_grouped else Pds
 
 let build ?pinned family g (psi : P.t) ~instances ~alpha =
+  Dsd_obs.Span.with_ Dsd_obs.Phase.build_network @@ fun () ->
+  Dsd_obs.Counter.incr Dsd_obs.Counter.Networks_built;
   match family with
   | Eds ->
     (match pinned with

@@ -5,6 +5,7 @@ type result = {
 }
 
 let run g psi =
+  Dsd_obs.Span.with_ Dsd_obs.Phase.peel_app @@ fun () ->
   let t0 = Dsd_util.Timer.now_s () in
   let decomp = Clique_core.decompose ~track_density:true g psi in
   let subgraph =

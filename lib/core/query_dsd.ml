@@ -89,9 +89,7 @@ let run g psi ~query =
   (* Optimal S lives in the min(ceil(l), x)-core: S's non-query
      vertices have at least ceil(rho_opt) instances inside S, and Q
      survives any peeling up to level x. *)
-  let k_loc =
-    min x (max 0 (int_of_float (Float.ceil (l0 -. 1e-9))))
-  in
+  let k_loc = min x (max 0 (Dsd_util.Float_guard.safe_ceil l0)) in
   let candidates = Clique_core.core_vertices decomp ~k:k_loc in
   let u0 =
     float_of_int

@@ -12,6 +12,7 @@ let max_flow net ~s ~t =
   let arcs = Array.init n (fun v -> F.arcs_from net v) in
   let queue = Queue.create () in
   let build_levels () =
+    Dsd_obs.Counter.incr Dsd_obs.Counter.Flow_level_builds;
     Array.fill level 0 n (-1);
     Queue.clear queue;
     level.(s) <- 0;
@@ -30,7 +31,10 @@ let max_flow net ~s ~t =
     level.(t) >= 0
   in
   let rec dfs u limit =
-    if u = t then limit
+    if u = t then begin
+      Dsd_obs.Counter.incr Dsd_obs.Counter.Flow_augmentations;
+      limit
+    end
     else begin
       let pushed = ref 0. in
       let continue = ref true in

@@ -7,6 +7,7 @@ let max_flow net ~s ~t =
   let visited = Array.make n false in
   let queue = Queue.create () in
   let find_path () =
+    Dsd_obs.Counter.incr Dsd_obs.Counter.Flow_level_builds;
     Array.fill visited 0 n false;
     Array.fill parent_arc 0 n (-1);
     Queue.clear queue;
@@ -31,6 +32,7 @@ let max_flow net ~s ~t =
   in
   let total = ref 0. in
   while find_path () do
+    Dsd_obs.Counter.incr Dsd_obs.Counter.Flow_augmentations;
     (* Bottleneck along the stored path. *)
     let bottleneck = ref infinity in
     let v = ref t in

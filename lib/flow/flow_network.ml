@@ -7,7 +7,7 @@ type t = {
   mutable edges : int;
 }
 
-let eps = 1e-9
+let eps = Dsd_util.Float_guard.eps
 
 let create n =
   {

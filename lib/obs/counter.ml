@@ -1,0 +1,47 @@
+type name =
+  | Flow_augmentations
+  | Flow_level_builds
+  | Peeled_vertices
+  | Clique_instances
+  | Core_iterations
+  | Networks_built
+
+let all =
+  [ Flow_augmentations; Flow_level_builds; Peeled_vertices; Clique_instances;
+    Core_iterations; Networks_built ]
+
+let index = function
+  | Flow_augmentations -> 0
+  | Flow_level_builds -> 1
+  | Peeled_vertices -> 2
+  | Clique_instances -> 3
+  | Core_iterations -> 4
+  | Networks_built -> 5
+
+let slots = 6
+
+let to_string = function
+  | Flow_augmentations -> "flow_augmentations"
+  | Flow_level_builds -> "flow_level_builds"
+  | Peeled_vertices -> "peeled_vertices"
+  | Clique_instances -> "clique_instances"
+  | Core_iterations -> "core_iterations"
+  | Networks_built -> "networks_built"
+
+(* One atomic per counter: domains striping clique enumeration bump
+   these concurrently.  Hot loops either read State.enabled first or
+   accumulate locally and [add] once per batch. *)
+let values = Array.init slots (fun _ -> Atomic.make 0)
+
+let incr name =
+  if Atomic.get State.enabled then Atomic.incr values.(index name)
+
+let add name k =
+  if k <> 0 && Atomic.get State.enabled then
+    ignore (Atomic.fetch_and_add values.(index name) k)
+
+let get name = Atomic.get values.(index name)
+
+let reset () = Array.iter (fun a -> Atomic.set a 0) values
+
+let snapshot () = List.map (fun n -> (to_string n, get n)) all

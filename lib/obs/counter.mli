@@ -1,0 +1,29 @@
+(** Monotonic global counters for the algorithmic events the paper's
+    experiments attribute cost to.  All operations are no-ops while
+    recording is disabled (see {!Control.enable}); with recording on,
+    updates are atomic and safe from multiple domains. *)
+
+type name =
+  | Flow_augmentations  (** augmenting paths found (Dinic / Edmonds-Karp) *)
+  | Flow_level_builds   (** Dinic level-graph rebuilds; Edmonds-Karp BFS passes *)
+  | Peeled_vertices     (** vertices removed by core-decomposition peeling *)
+  | Clique_instances    (** h-cliques / pattern instances enumerated *)
+  | Core_iterations     (** binary-search min-cut probes / CoreApp rounds *)
+  | Networks_built      (** flow networks constructed *)
+
+val all : name list
+val to_string : name -> string
+
+(** [incr n] adds 1; [add n k] adds [k] in one atomic update — batch
+    per-stripe tallies through [add] rather than hammering [incr]. *)
+val incr : name -> unit
+
+val add : name -> int -> unit
+
+(** Current value (readable whether or not recording is enabled). *)
+val get : name -> int
+
+val reset : unit -> unit
+
+(** All counters as [(name, value)] pairs, in declaration order. *)
+val snapshot : unit -> (string * int) list

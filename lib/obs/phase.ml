@@ -1,0 +1,21 @@
+(* Canonical span names, one per pipeline phase, so the CLI, bench
+   harness and tests agree on spelling.  Each name is opened by exactly
+   one layer of the stack (see Span's no-recursive-nesting rule):
+
+   - algorithm wrappers:  exact / core_exact / peel_app / core_app
+   - inside them:         decompose, enumerate, build_network, flow
+   - under Clique_parallel: clique_stripe (one per domain stripe). *)
+
+let decompose = "decompose"
+let enumerate = "enumerate"
+let build_network = "build_network"
+let flow = "flow"
+let exact = "exact"
+let core_exact = "core_exact"
+let peel_app = "peel_app"
+let core_app = "core_app"
+let clique_stripe = "clique_stripe"
+
+(* The paper's Figure 8/Table 3 attribution buckets, in display
+   order. *)
+let breakdown = [ decompose; enumerate; build_network; flow ]

@@ -1,0 +1,11 @@
+(** Formatting of accumulated counters/spans for `dsd --stats` and the
+    bench harness. *)
+
+(** Multi-line report: spans sorted by total time, then non-zero
+    counters. *)
+val to_string : unit -> string
+
+(** Compact one-line [k=v] fields — the {!Phase.breakdown} span totals
+    (always present, as [<phase>_s=<secs>]) followed by non-zero
+    counters. *)
+val kv_fields : unit -> string

@@ -1,0 +1,28 @@
+(** Named, nestable timed regions with a thread-safe accumulator.
+
+    Totals are inclusive wall-clock sums per name, accumulated across
+    all domains; nesting the same name recursively would double-count,
+    so instrument each region at exactly one layer (the phase names in
+    {!Phase} follow that rule).  While recording is disabled every
+    entry point costs one atomic read and allocates nothing. *)
+
+type token
+
+(** [with_ name f] times [f] under [name] (exception-safe).  Prefer
+    this to manual {!enter}/{!exit}. *)
+val with_ : string -> (unit -> 'a) -> 'a
+
+val enter : string -> token
+val exit : token -> unit
+
+(** Accumulated inclusive seconds (resp. completed entries) for a
+    name; 0 for never-entered names. *)
+val total_s : string -> float
+
+val entries : string -> int
+
+(** All accumulated spans as [(name, total_s, entries)], largest total
+    first. *)
+val snapshot : unit -> (string * float * int) list
+
+val reset : unit -> unit

@@ -1,0 +1,7 @@
+(* The one flag every instrumentation site reads on its fast path.
+   When false (the default), counters and spans are no-ops: callers
+   branch on this and fall straight through without allocating. *)
+
+let enabled = Atomic.make false
+
+let now_s = Dsd_util.Timer.now_s

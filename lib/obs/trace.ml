@@ -1,0 +1,91 @@
+type event =
+  | Span_enter of { name : string; t_s : float; domain : int; depth : int }
+  | Span_exit of {
+      name : string;
+      t_s : float;
+      elapsed_s : float;
+      domain : int;
+      depth : int;
+    }
+  | Message of { text : string; t_s : float; domain : int }
+
+type sink =
+  | Null
+  | Memory of { lock : Mutex.t; mutable events : event list }
+  | Jsonl of { lock : Mutex.t; chan : out_channel }
+
+let null = Null
+let memory () = Memory { lock = Mutex.create (); events = [] }
+let jsonl chan = Jsonl { lock = Mutex.create (); chan }
+
+let memory_events = function
+  | Memory m ->
+    Mutex.lock m.lock;
+    let es = List.rev m.events in
+    Mutex.unlock m.lock;
+    es
+  | Null | Jsonl _ -> []
+
+(* Hand-rolled JSON: the event grammar is tiny and fixed, names come
+   from our own phase constants (no escaping beyond strings we own). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_event = function
+  | Span_enter { name; t_s; domain; depth } ->
+    Printf.sprintf
+      {|{"event":"span_enter","name":"%s","t_s":%.6f,"domain":%d,"depth":%d}|}
+      (json_escape name) t_s domain depth
+  | Span_exit { name; t_s; elapsed_s; domain; depth } ->
+    Printf.sprintf
+      {|{"event":"span_exit","name":"%s","t_s":%.6f,"elapsed_s":%.6f,"domain":%d,"depth":%d}|}
+      (json_escape name) t_s elapsed_s domain depth
+  | Message { text; t_s; domain } ->
+    Printf.sprintf {|{"event":"message","text":"%s","t_s":%.6f,"domain":%d}|}
+      (json_escape text) t_s domain
+
+let record sink e =
+  match sink with
+  | Null -> ()
+  | Memory m ->
+    Mutex.lock m.lock;
+    m.events <- e :: m.events;
+    Mutex.unlock m.lock
+  | Jsonl j ->
+    Mutex.lock j.lock;
+    output_string j.chan (json_of_event e);
+    output_char j.chan '\n';
+    Mutex.unlock j.lock
+
+(* The active sink.  Set from Control before recording is enabled, so
+   instrumentation threads only ever read it. *)
+let current = Atomic.make Null
+
+let set_sink s = Atomic.set current s
+let sink () = Atomic.get current
+
+(* [emit mk] builds the event lazily: with a Null sink nothing is
+   allocated. *)
+let emit mk =
+  match Atomic.get current with
+  | Null -> ()
+  | s -> record s (mk ())
+
+let message text =
+  if Atomic.get State.enabled then
+    emit (fun () ->
+        Message
+          { text;
+            t_s = State.now_s ();
+            domain = (Domain.self () :> int) })

@@ -1,0 +1,43 @@
+(** Structured trace events and the sinks that receive them.
+
+    Three sinks: {!null} (drop everything — the default), {!memory}
+    (an in-process buffer for tests), and {!jsonl} (one JSON object
+    per line on an output channel).  Sinks are safe to write from
+    multiple domains. *)
+
+type event =
+  | Span_enter of { name : string; t_s : float; domain : int; depth : int }
+  | Span_exit of {
+      name : string;
+      t_s : float;
+      elapsed_s : float;
+      domain : int;
+      depth : int;
+    }
+  | Message of { text : string; t_s : float; domain : int }
+
+type sink
+
+val null : sink
+val memory : unit -> sink
+val jsonl : out_channel -> sink
+
+(** Events captured by a {!memory} sink, oldest first; [[]] for other
+    sinks. *)
+val memory_events : sink -> event list
+
+val json_of_event : event -> string
+
+(** Install [s] as the destination for subsequent events.  Call before
+    {!Control.enable}; instrumentation only reads the sink. *)
+val set_sink : sink -> unit
+
+val sink : unit -> sink
+
+(** [emit mk] sends [mk ()] to the active sink; with {!null} installed
+    the thunk is never run and nothing allocates. *)
+val emit : (unit -> event) -> unit
+
+(** [message text] records a free-form annotation (no-op while
+    recording is disabled). *)
+val message : string -> unit

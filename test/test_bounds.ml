@@ -1,0 +1,127 @@
+(* Approximation guarantees (Theorems 2-4): PeelApp, IncApp and
+   CoreApp return density rho with rho_opt / |V_Psi| <= rho <=
+   rho_opt, checked against the exhaustive optimum on small seeded
+   graphs and on the degenerate shapes where off-by-one peeling bugs
+   hide. *)
+
+module G = Dsd_graph.Graph
+module P = Dsd_pattern.Pattern
+module D = Dsd_core.Density
+
+let approx_algos =
+  [ ("PeelApp", fun g psi -> (Dsd_core.Peel_app.run g psi).Dsd_core.Peel_app.subgraph);
+    ("IncApp", fun g psi -> (Dsd_core.Inc_app.run g psi).Dsd_core.Inc_app.subgraph);
+    ("CoreApp", fun g psi -> (Dsd_core.Core_app.run g psi).Dsd_core.Core_app.subgraph) ]
+
+let check_bounds ~ctx g psi =
+  let opt, _ = Helpers.brute_force_densest g psi in
+  let lower = opt /. float_of_int psi.P.size in
+  List.iter
+    (fun (name, run) ->
+      let sg = run g psi in
+      let ctx = Printf.sprintf "%s %s (opt=%.4f)" ctx name opt in
+      Alcotest.(check bool)
+        (ctx ^ ": rho >= rho_opt/|V_Psi|")
+        true
+        (sg.D.density >= lower -. 1e-9);
+      Alcotest.(check bool)
+        (ctx ^ ": rho <= rho_opt")
+        true
+        (sg.D.density <= opt +. 1e-9);
+      (* The reported density must match the reported vertex set. *)
+      Helpers.check_float
+        (ctx ^ ": density consistent with vertices")
+        (Helpers.density_of_subset g psi sg.D.vertices)
+        sg.D.density)
+    approx_algos
+
+let patterns = [ P.edge; P.triangle; P.star 2 ]
+
+let test_bounds_on_seeded_graphs () =
+  for seed = 0 to 19 do
+    let g = Helpers.random_graph ~seed:(100 + seed) ~max_n:11 ~max_m:24 () in
+    List.iter
+      (fun psi ->
+        check_bounds ~ctx:(Printf.sprintf "seed=%d psi=%s" seed psi.P.name) g psi)
+      patterns
+  done
+
+(* ---- corner cases ---- *)
+
+let test_empty_graph () =
+  let g = G.empty 0 in
+  List.iter
+    (fun psi ->
+      List.iter
+        (fun (name, run) ->
+          let sg = run g psi in
+          Helpers.check_float (name ^ " empty density") 0. sg.D.density;
+          Alcotest.(check int) (name ^ " empty vertices") 0
+            (Array.length sg.D.vertices))
+        approx_algos)
+    patterns
+
+let test_edgeless_graph () =
+  let g = G.empty 4 in
+  List.iter
+    (fun (name, run) ->
+      let sg = run g P.edge in
+      Helpers.check_float (name ^ " edgeless density") 0. sg.D.density)
+    approx_algos
+
+let test_single_edge () =
+  let g = G.of_edge_list ~n:2 [ (0, 1) ] in
+  check_bounds ~ctx:"single edge" g P.edge;
+  (* rho_opt = 1/2 and the peeling algorithms find it exactly. *)
+  List.iter
+    (fun (name, run) ->
+      Helpers.check_float (name ^ " K2 density") 0.5 (run g P.edge).D.density)
+    approx_algos
+
+let test_clique () =
+  let n = 6 in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  let g = G.of_edge_list ~n !edges in
+  List.iter (fun psi -> check_bounds ~ctx:"K6" g psi) patterns;
+  (* A clique is its own densest subgraph under edge density. *)
+  List.iter
+    (fun (name, run) ->
+      let sg = run g P.edge in
+      Helpers.check_float (name ^ " K6 density")
+        (float_of_int (n * (n - 1) / 2) /. float_of_int n)
+        sg.D.density;
+      Alcotest.(check int) (name ^ " K6 takes all vertices") n
+        (Array.length sg.D.vertices))
+    approx_algos
+
+let test_star () =
+  (* Star K_{1,6}: edge-densest is the whole star (6/7); triangle
+     density is 0 everywhere; 2-star density concentrates on the
+     hub. *)
+  let g = G.of_edge_list ~n:7 (List.init 6 (fun i -> (0, i + 1))) in
+  List.iter (fun psi -> check_bounds ~ctx:"star" g psi) patterns;
+  List.iter
+    (fun (name, run) ->
+      Helpers.check_float
+        (name ^ " star edge density")
+        (6. /. 7.)
+        (run g P.edge).D.density;
+      Helpers.check_float (name ^ " star triangle density") 0.
+        (run g P.triangle).D.density)
+    approx_algos
+
+let suite =
+  [
+    Alcotest.test_case "bounds on 20 seeded graphs (edge/triangle/2-star)"
+      `Quick test_bounds_on_seeded_graphs;
+    Alcotest.test_case "empty graph" `Quick test_empty_graph;
+    Alcotest.test_case "edgeless graph" `Quick test_edgeless_graph;
+    Alcotest.test_case "single edge" `Quick test_single_edge;
+    Alcotest.test_case "clique" `Quick test_clique;
+    Alcotest.test_case "star" `Quick test_star;
+  ]

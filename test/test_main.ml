@@ -10,6 +10,9 @@ let () =
       ("flow-build", Test_flow_build.suite);
       ("exact", Test_exact.suite);
       ("approx", Test_approx.suite);
+      ("differential", Test_differential.suite);
+      ("approx-bounds", Test_bounds.suite);
+      ("obs", Test_obs.suite);
       ("pds", Test_pds.suite);
       ("data", Test_data.suite);
       ("query", Test_query.suite);

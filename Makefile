@@ -21,6 +21,7 @@ fmt:
 
 check:
 	dune build @default @runtest
+	dune exec bench/main.exe -- --only parallel --smoke
 	$(MAKE) fmt
 
 # Per-phase observability breakdown (Dsd_obs spans/counters).

@@ -872,6 +872,120 @@ let phases () =
       H.table ~header:[ "dataset"; "algorithm"; "time + per-phase fields" ] ~rows)
     [ 2; 3 ]
 
+(* ---- parallel: domain-pool speedup vs domains (BENCH_parallel.json) ---- *)
+
+(* Speedup of the pooled parallel phases — clique-core decomposition,
+   clique counting, flow-network construction — as the pool grows, on
+   generated graphs.  Results are bit-identical across pool sizes (the
+   differential test suite pins that); this measures only time.  The
+   measured rows also land in BENCH_parallel.json for tracking.  In
+   --smoke mode the graphs shrink so CI exercises the multi-domain
+   code paths in seconds. *)
+let parallel () =
+  let smoke = !H.smoke in
+  H.section
+    (Printf.sprintf
+       "Parallel — domain-pool speedup vs domains%s (hardware recommends %d)"
+       (if smoke then " [smoke]" else "")
+       (Dsd_clique.Parallel.recommended_domains ()));
+  let domains_list = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let graphs =
+    if smoke then
+      [ ("er_1k", Dsd_data.Gen.er_gnp ~seed:7 ~n:1_000 ~p:0.01) ]
+    else
+      [ ("ba_20k", Dsd_data.Gen.barabasi_albert ~seed:7 ~n:20_000 ~attach:6);
+        ("er_20k", Dsd_data.Gen.er_gnp ~seed:11 ~n:20_000 ~p:0.0008) ]
+  in
+  let phases g =
+    [ ("decompose_triangle",
+       fun pool ->
+         ignore
+           (Dsd_core.Clique_core.decompose ~pool ~track_density:false g
+              P.triangle));
+      ("count_4clique",
+       fun pool -> ignore (Dsd_clique.Parallel.count_in pool g ~h:4));
+      ("build_network_triangle",
+       fun pool ->
+         let instances = Dsd_core.Enumerate.instances ~pool g P.triangle in
+         ignore
+           (Dsd_core.Flow_build.build ~pool Dsd_core.Flow_build.Clique_flow g
+              P.triangle ~instances ~alpha:1.0)) ]
+  in
+  let json_rows = ref [] in
+  List.iter
+    (fun (gname, g) ->
+      Printf.printf "\n[%s]  n=%d m=%d\n" gname (G.n g) (G.m g);
+      let rows =
+        List.map
+          (fun (phase, run) ->
+            let base = ref None in
+            let cells =
+              List.map
+                (fun domains ->
+                  let cell =
+                    H.run_cell ~timeout:(6. *. !H.default_timeout) (fun () ->
+                        time_of (fun () ->
+                            Dsd_util.Pool.with_pool domains (fun pool ->
+                                run pool)))
+                  in
+                  let time_s =
+                    match cell with
+                    | H.Ok s ->
+                      (try Some (float_of_string (String.trim s))
+                       with _ -> None)
+                    | _ -> None
+                  in
+                  if domains = 1 then base := time_s;
+                  let speedup =
+                    match (!base, time_s) with
+                    | Some b, Some t when t > 0. -> Some (b /. t)
+                    | _ -> None
+                  in
+                  json_rows :=
+                    Printf.sprintf
+                      "    {\"graph\": \"%s\", \"n\": %d, \"m\": %d, \
+                       \"phase\": \"%s\", \"domains\": %d, \"time_s\": %s, \
+                       \"speedup\": %s}"
+                      gname (G.n g) (G.m g) phase domains
+                      (match time_s with
+                       | Some t -> Printf.sprintf "%.6f" t
+                       | None -> "null")
+                      (match speedup with
+                       | Some s -> Printf.sprintf "%.3f" s
+                       | None -> "null")
+                    :: !json_rows;
+                  (cell, speedup))
+                domains_list
+            in
+            phase
+            :: List.concat_map
+                 (fun (cell, speedup) ->
+                   [ H.show_time cell;
+                     (match speedup with
+                      | Some s -> Printf.sprintf "%.2fx" s
+                      | None -> "-") ])
+                 cells)
+          (phases g)
+      in
+      let header =
+        "phase"
+        :: List.concat_map
+             (fun d ->
+               [ Printf.sprintf "%dd time" d; Printf.sprintf "%dd spd" d ])
+             domains_list
+      in
+      H.table ~header ~rows)
+    graphs;
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"parallel\",\n  \"smoke\": %b,\n  \
+     \"recommended_domains\": %d,\n  \"rows\": [\n%s\n  ]\n}\n"
+    smoke
+    (Dsd_clique.Parallel.recommended_domains ())
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  print_endline "\nwrote BENCH_parallel.json"
+
 (* ---- registry ---- *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -898,6 +1012,7 @@ let all : (string * string * (unit -> unit)) list =
     ("ext_greedy", "extension: Greedy++ convergence", ext_greedy);
     ("ext_streaming", "extension: streaming eps sweep", ext_streaming);
     ("ext_parallel", "extension: multicore clique counting", ext_parallel);
+    ("parallel", "domain-pool speedup vs domains (BENCH_parallel.json)", parallel);
     ("ext_truss", "extension: truss vs CDS", ext_truss);
     ("ext_sampled", "future work: sampled approximation", ext_sampled);
     ("ext_atleastk", "future work: densest-at-least-k", ext_atleastk);

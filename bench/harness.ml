@@ -9,6 +9,11 @@ type cell =
 
 let default_timeout = ref 10.0
 
+(* Smoke mode (--smoke): shrink inputs so CI can exercise every code
+   path — notably the multi-domain ones — in seconds.  Experiments
+   that honour it say so in their section banner. *)
+let smoke = ref false
+
 (* Run [f] in a forked child; read its result line from a pipe.  The
    child is killed (SIGKILL) when the timeout elapses — algorithms need
    no cooperative cancellation points this way.  Payloads must stay

@@ -18,11 +18,13 @@ let () =
        Arg.Float (fun t -> Harness.default_timeout := t),
        "SECS  per-cell wall-clock budget (default 10)");
       ("--list", Arg.Set list_only, " list experiment ids and exit");
+      ("--smoke", Arg.Set Harness.smoke,
+       " shrink inputs for a fast CI pass over the same code paths");
     ]
   in
   Arg.parse spec
     (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
-    "bench/main.exe [--list] [--only ids] [--timeout secs]";
+    "bench/main.exe [--list] [--only ids] [--timeout secs] [--smoke]";
   if !list_only then
     List.iter
       (fun (id, doc, _) -> Printf.printf "%-12s %s\n" id doc)

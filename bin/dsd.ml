@@ -74,6 +74,28 @@ let pattern_arg =
              ~doc:"Density pattern: edge, triangle, 4/5/6-clique, 2/3-star, \
                    c3-star, diamond, 2-triangle, 3-triangle, basket.")
 
+let domains_arg =
+  C.Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Domains for the parallel phases (enumeration, core \
+                   decomposition, flow-network construction).  Defaults to \
+                   $(b,DSD_DOMAINS) or the hardware recommendation.  \
+                   Results are identical for every value.")
+
+(* Run [f] with a shared domain pool sized by --domains (or the
+   recommendation).  All solvers are bit-identical across pool sizes,
+   so this only changes how fast the answer arrives. *)
+let with_domains domains f =
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ ->
+      prerr_endline "dsd: --domains must be >= 1";
+      exit 2
+    | None -> Dsd_clique.Parallel.recommended_domains ()
+  in
+  Dsd_util.Pool.with_pool domains (fun pool -> f pool)
+
 (* ---- observability options ---- *)
 
 let stats_arg =
@@ -154,12 +176,15 @@ let generate =
 (* ---- stats ---- *)
 
 let stats =
-  let run input dataset pattern =
+  let run input dataset pattern domains =
     let g = load_graph input dataset in
     let psi = pattern_of_string pattern in
     let _, cc = Dsd_graph.Traversal.components g in
     let alpha = Dsd_util.Stats.power_law_alpha (G.degrees g) in
-    let decomp = Dsd_core.Clique_core.decompose ~track_density:false g psi in
+    let decomp =
+      with_domains domains (fun pool ->
+          Dsd_core.Clique_core.decompose ~pool ~track_density:false g psi)
+    in
     let core = Dsd_core.Clique_core.kmax_core decomp in
     Printf.printf "vertices            %d\n" (G.n g);
     Printf.printf "edges               %d\n" (G.m g);
@@ -171,9 +196,9 @@ let stats =
     Printf.printf "kmax                %d\n" decomp.Dsd_core.Clique_core.kmax;
     Printf.printf "(kmax, Psi)-core    %d vertices\n" (Array.length core)
   in
-  let run a b c = or_die (fun () -> run a b c) in
+  let run a b c d = or_die (fun () -> run a b c d) in
   C.Cmd.v (C.Cmd.info "stats" ~doc:"Print dataset characteristics.")
-    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg)
+    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ domains_arg)
 
 (* ---- decompose ---- *)
 
@@ -181,12 +206,13 @@ let decompose =
   let show_all =
     C.Arg.(value & flag & info [ "all" ] ~doc:"Print every vertex's core number.")
   in
-  let run input dataset pattern show_all stats trace =
+  let run input dataset pattern domains show_all stats trace =
     let g = load_graph input dataset in
     let psi = pattern_of_string pattern in
     let decomp =
       with_obs ~stats ~trace (fun () ->
-          Dsd_core.Clique_core.decompose ~track_density:false g psi)
+          with_domains domains (fun pool ->
+              Dsd_core.Clique_core.decompose ~pool ~track_density:false g psi))
     in
     Printf.printf "kmax = %d\n" decomp.Dsd_core.Clique_core.kmax;
     if show_all then
@@ -200,10 +226,10 @@ let decompose =
       print_newline ()
     end
   in
-  let run a b c d e f = or_die (fun () -> run a b c d e f) in
+  let run a b c d e f g = or_die (fun () -> run a b c d e f g) in
   C.Cmd.v (C.Cmd.info "decompose" ~doc:"(k, Psi)-core decomposition.")
-    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ show_all
-            $ stats_arg $ trace_arg)
+    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ domains_arg
+            $ show_all $ stats_arg $ trace_arg)
 
 (* ---- cds ---- *)
 
@@ -220,26 +246,29 @@ let cds =
                ~doc:"Also write the graph as Graphviz DOT with the found \
                      subgraph highlighted.")
   in
-  let run input dataset pattern algo dot stats trace =
+  let run input dataset pattern domains algo dot stats trace =
     let g = load_graph input dataset in
     let psi = pattern_of_string pattern in
+    let api algorithm pool = Dsd_core.Api.densest_subgraph ~pool ~psi ~algorithm g in
     let name, solve =
       match String.lowercase_ascii algo with
-      | "exact" -> ("Exact", fun () -> Dsd_core.Api.densest_subgraph ~psi ~algorithm:Dsd_core.Api.Exact_flow g)
-      | "coreexact" -> ("CoreExact", fun () -> Dsd_core.Api.densest_subgraph ~psi ~algorithm:Dsd_core.Api.Core_exact g)
-      | "peel" -> ("PeelApp", fun () -> Dsd_core.Api.densest_subgraph ~psi ~algorithm:Dsd_core.Api.Peel g)
-      | "incapp" -> ("IncApp", fun () -> Dsd_core.Api.densest_subgraph ~psi ~algorithm:Dsd_core.Api.Inc_app g)
-      | "coreapp" -> ("CoreApp", fun () -> Dsd_core.Api.densest_subgraph ~psi ~algorithm:Dsd_core.Api.Core_app g)
+      | "exact" -> ("Exact", fun pool -> api Dsd_core.Api.Exact_flow pool)
+      | "coreexact" -> ("CoreExact", fun pool -> api Dsd_core.Api.Core_exact pool)
+      | "peel" -> ("PeelApp", fun pool -> api Dsd_core.Api.Peel pool)
+      | "incapp" -> ("IncApp", fun pool -> api Dsd_core.Api.Inc_app pool)
+      | "coreapp" -> ("CoreApp", fun pool -> api Dsd_core.Api.Core_app pool)
       | "greedy++" | "greedypp" ->
-        ("Greedy++", fun () -> (Dsd_core.Greedy_pp.run g psi).Dsd_core.Greedy_pp.subgraph)
+        ("Greedy++", fun _pool -> (Dsd_core.Greedy_pp.run g psi).Dsd_core.Greedy_pp.subgraph)
       | "streaming" ->
-        ("Streaming", fun () -> (Dsd_core.Streaming.run g psi).Dsd_core.Streaming.subgraph)
+        ("Streaming", fun _pool -> (Dsd_core.Streaming.run g psi).Dsd_core.Streaming.subgraph)
       | other ->
         Printf.eprintf "unknown algorithm %s\n" other;
         exit 2
     in
     let (sg : Dsd_core.Density.subgraph), elapsed =
-      with_obs ~stats ~trace (fun () -> Dsd_util.Timer.time solve)
+      with_obs ~stats ~trace (fun () ->
+          with_domains domains (fun pool ->
+              Dsd_util.Timer.time (fun () -> solve pool)))
     in
     Printf.printf "algorithm  %s\n" name;
     Printf.printf "pattern    %s\n" psi.P.name;
@@ -254,11 +283,11 @@ let cds =
         Printf.printf "wrote %s\n" path)
       dot
   in
-  let run a b c d e f g = or_die (fun () -> run a b c d e f g) in
+  let run a b c d e f g h = or_die (fun () -> run a b c d e f g h) in
   C.Cmd.v
     (C.Cmd.info "cds" ~doc:"Find the (approximately) densest subgraph.")
-    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ algo $ dot
-            $ stats_arg $ trace_arg)
+    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ domains_arg
+            $ algo $ dot $ stats_arg $ trace_arg)
 
 (* ---- query (Section 6.3 variant) ---- *)
 
@@ -267,10 +296,13 @@ let query =
     C.Arg.(non_empty & pos_all int []
            & info [] ~docv:"VERTEX" ~doc:"Query vertices the subgraph must contain.")
   in
-  let run input dataset pattern vertices =
+  let run input dataset pattern domains vertices =
     let g = load_graph input dataset in
     let psi = pattern_of_string pattern in
-    let r = Dsd_core.Query_dsd.run g psi ~query:(Array.of_list vertices) in
+    let r =
+      with_domains domains (fun pool ->
+          Dsd_core.Query_dsd.run ~pool g psi ~query:(Array.of_list vertices))
+    in
     let sg = r.Dsd_core.Query_dsd.subgraph in
     Printf.printf "pattern    %s\n" psi.P.name;
     Printf.printf "density    %.6f\n" sg.Dsd_core.Density.density;
@@ -280,11 +312,12 @@ let query =
     Array.iter (Printf.printf "%d ") sg.Dsd_core.Density.vertices;
     print_newline ()
   in
-  let run a b c d = or_die (fun () -> run a b c d) in
+  let run a b c d e = or_die (fun () -> run a b c d e) in
   C.Cmd.v
     (C.Cmd.info "query"
        ~doc:"Densest subgraph containing given query vertices (Section 6.3).")
-    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ vertices)
+    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ domains_arg
+            $ vertices)
 
 (* ---- truss ---- *)
 

@@ -69,6 +69,9 @@ let kill_instance t i =
   if is_live t i then
     kill_instance_internal t i ~skip:(-1) ~on_comember:(fun _ -> ())
 
+let kill_instance_with t i ~on_comember =
+  if is_live t i then kill_instance_internal t i ~skip:(-1) ~on_comember
+
 let iter_live_of_vertex t v ~f =
   Array.iter (fun i -> if is_live t i then f i) t.posting.(v)
 

@@ -38,6 +38,13 @@ val kill_vertex : t -> int -> on_comember:(int -> unit) -> int
     all member degrees.  No-op on a dead instance. *)
 val kill_instance : t -> int -> unit
 
+(** [kill_instance_with t i ~on_comember] is {!kill_instance} with
+    [on_comember] called once per member (after that member's degree
+    decrement).  Frontier-synchronous peeling retires whole instance
+    batches through this, collecting the members that drop below the
+    level threshold. *)
+val kill_instance_with : t -> int -> on_comember:(int -> unit) -> unit
+
 (** [iter_live_of_vertex t v ~f] visits ids of live instances
     containing [v]. *)
 val iter_live_of_vertex : t -> int -> f:(int -> unit) -> unit

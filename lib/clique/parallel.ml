@@ -1,64 +1,82 @@
 module G = Dsd_graph.Graph
+module Pool = Dsd_util.Pool
 
 let recommended_domains () =
-  min 8 (max 1 (Domain.recommended_domain_count ()))
+  let hardware = max 1 (Domain.recommended_domain_count ()) in
+  match Sys.getenv_opt "DSD_DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some d when d >= 1 -> d
+     | Some _ | None -> hardware)
+  | None -> hardware
 
-(* Stripe roots round-robin: high-degree roots (heavier recursion
-   trees) spread evenly across domains. *)
-let stripes n domains =
-  Array.init domains (fun d ->
-      let buf = Dsd_util.Vec.Int.create () in
-      let v = ref d in
-      while !v < n do
-        Dsd_util.Vec.Int.push buf !v;
-        v := !v + domains
-      done;
-      Dsd_util.Vec.Int.to_array buf)
+(* Each domain's participation in an enumeration job runs under one
+   clique_stripe span, so the obs table reads as aggregate stripe CPU
+   time with one entry per domain — the same shape the old
+   spawn-per-call code reported. *)
+let stripe_wrap f = Dsd_obs.Span.with_ Dsd_obs.Phase.clique_stripe f
 
-(* Run [per_stripe roots] on each stripe in its own domain (the last
-   stripe on the calling domain) and merge the results. *)
-let map_stripes g ~domains ~(per_stripe : int array -> 'a) : 'a list =
-  if domains < 1 then invalid_arg "Parallel: domains must be >= 1";
-  (* Each stripe runs under its own clique_stripe span: the obs
-     accumulator sums them across domains, so the span total reads as
-     aggregate stripe CPU time, not wall clock. *)
-  let per_stripe roots =
-    Dsd_obs.Span.with_ Dsd_obs.Phase.clique_stripe (fun () -> per_stripe roots)
-  in
-  let parts = stripes (G.n g) domains in
-  if domains = 1 then [ per_stripe parts.(0) ]
+let roots lo hi = Array.init (hi - lo) (fun i -> lo + i)
+
+(* Chunks coarse enough that per-chunk setup (roots array, one atomic
+   counter flush inside Kclist) is noise, fine enough that work
+   stealing evens out skewed recursion trees. *)
+let chunk_for pool n = max 16 (n / (8 * Pool.size pool))
+
+let count_in pool g ~h =
+  let dag = Kclist.prepare g in
+  let n = G.n g in
+  Pool.fold_chunks pool ~chunk:(chunk_for pool n) ~wrap:stripe_wrap ~n ~init:0
+    ~merge:( + ) (fun lo hi ->
+      let c = ref 0 in
+      Kclist.iter_prepared dag ~h ~roots:(roots lo hi) ~f:(fun _ -> incr c);
+      !c)
+
+let degrees_in pool g ~h =
+  let dag = Kclist.prepare g in
+  let n = G.n g in
+  if n = 0 then [||]
   else begin
-    let spawned =
-      Array.to_list
-        (Array.map
-           (fun roots -> Domain.spawn (fun () -> per_stripe roots))
-           (Array.sub parts 0 (domains - 1)))
+    (* Coarser chunks here: every chunk allocates an n-slot
+       accumulator, so bound the count by the pool size rather than
+       the stealing granularity. *)
+    let chunk = max 1024 (n / (2 * Pool.size pool)) in
+    let parts =
+      Pool.map_chunks pool ~chunk ~wrap:stripe_wrap ~n (fun lo hi ->
+          let deg = Array.make n 0 in
+          Kclist.iter_prepared dag ~h ~roots:(roots lo hi) ~f:(fun inst ->
+              Array.iter (fun v -> deg.(v) <- deg.(v) + 1) inst);
+          deg)
     in
-    let own = per_stripe parts.(domains - 1) in
-    own :: List.map Domain.join spawned
+    let first = parts.(0) in
+    for p = 1 to Array.length parts - 1 do
+      let part = parts.(p) in
+      for v = 0 to n - 1 do
+        first.(v) <- first.(v) + part.(v)
+      done
+    done;
+    first
   end
 
-let count g ~h ~domains =
+let list_in pool g ~h =
   let dag = Kclist.prepare g in
-  let partials =
-    map_stripes g ~domains ~per_stripe:(fun roots ->
-        let c = ref 0 in
-        Kclist.iter_prepared dag ~h ~roots ~f:(fun _ -> incr c);
-        !c)
+  let n = G.n g in
+  let parts =
+    Pool.map_chunks pool ~chunk:(chunk_for pool n) ~wrap:stripe_wrap ~n
+      (fun lo hi ->
+        let acc = ref [] in
+        Kclist.iter_prepared dag ~h ~roots:(roots lo hi) ~f:(fun inst ->
+            acc := Array.copy inst :: !acc);
+        Array.of_list (List.rev !acc))
   in
-  List.fold_left ( + ) 0 partials
+  (* Chunks cover roots 0..n-1 in order and arrive in chunk order, so
+     this concatenation is exactly the sequential Kclist.list order. *)
+  Array.concat (Array.to_list parts)
+
+let count g ~h ~domains =
+  if domains < 1 then invalid_arg "Parallel: domains must be >= 1";
+  Pool.with_pool domains (fun pool -> count_in pool g ~h)
 
 let degrees g ~h ~domains =
-  let dag = Kclist.prepare g in
-  let partials =
-    map_stripes g ~domains ~per_stripe:(fun roots ->
-        let deg = Array.make (G.n g) 0 in
-        Kclist.iter_prepared dag ~h ~roots ~f:(fun inst ->
-            Array.iter (fun v -> deg.(v) <- deg.(v) + 1) inst);
-        deg)
-  in
-  match partials with
-  | [] -> [||]
-  | first :: rest ->
-    List.iter (fun part -> Array.iteri (fun v c -> first.(v) <- first.(v) + c) part) rest;
-    first
+  if domains < 1 then invalid_arg "Parallel: domains must be >= 1";
+  Pool.with_pool domains (fun pool -> degrees_in pool g ~h)

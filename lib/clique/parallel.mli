@@ -1,18 +1,39 @@
-(** Multicore h-clique counting (Section 6.3: "existing parallel k-core
-    decomposition algorithms can be easily extended...").
+(** Multicore h-clique enumeration on a shared domain pool (Section
+    6.3: "existing parallel k-core decomposition algorithms can be
+    easily extended...").
 
     kClist's recursion trees are independent per root vertex, so roots
-    are striped across OCaml 5 domains; counts and per-vertex degrees
-    merge associatively.  This parallelises the dominant cost of every
-    approximation algorithm (clique-degree computation). *)
+    are split into contiguous chunks claimed dynamically by the pool's
+    domains.  Chunked results merge in chunk order, which makes even
+    the order-sensitive product — the instance {e list} — bit-identical
+    to the sequential {!Kclist} enumeration for every pool size.  This
+    parallelises the dominant cost of every approximation algorithm
+    (clique-degree computation) and feeds the parallel peeling and
+    flow-network phases in [Dsd_core]. *)
 
-(** [count g ~h ~domains] = [Kclist.count g ~h], computed on [domains]
-    domains (≥ 1; 1 falls back to the sequential code). *)
+(** [count_in pool g ~h] = [Kclist.count g ~h], computed across
+    [pool]. *)
+val count_in : Dsd_util.Pool.t -> Dsd_graph.Graph.t -> h:int -> int
+
+(** [degrees_in pool g ~h] = [Clique_count.degrees g ~h] in
+    parallel. *)
+val degrees_in : Dsd_util.Pool.t -> Dsd_graph.Graph.t -> h:int -> int array
+
+(** [list_in pool g ~h] = [Kclist.list g ~h]: the instances in exactly
+    the sequential enumeration order, each a fresh sorted array. *)
+val list_in : Dsd_util.Pool.t -> Dsd_graph.Graph.t -> h:int -> int array array
+
+(** [count g ~h ~domains] spins up a transient pool of [domains]
+    domains (≥ 1) for one counting job.  Prefer [count_in] with a
+    long-lived pool; this survives for callers that parallelise a
+    single call. *)
 val count : Dsd_graph.Graph.t -> h:int -> domains:int -> int
 
-(** [degrees g ~h ~domains] = [Clique_count.degrees g ~h] in
-    parallel. *)
+(** [degrees g ~h ~domains] = [Clique_count.degrees g ~h] on a
+    transient pool. *)
 val degrees : Dsd_graph.Graph.t -> h:int -> domains:int -> int array
 
-(** Number of hardware domains recommended (capped at 8). *)
+(** Domains to use by default: the [DSD_DOMAINS] environment variable
+    when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()] (uncapped). *)
 val recommended_domains : unit -> int

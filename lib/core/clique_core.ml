@@ -56,10 +56,137 @@ let peel ~n ~mu_total ~track_density ~pop ~retire =
     (if track_density then !best_start else 0),
     residuals )
 
-let decompose_generic ~track_density g psi =
+(* Frontier-synchronous parallel peel over an instance store.
+
+   Threshold peeling's core numbers are order-independent: core(v) is
+   the largest k such that v survives deleting everything of
+   instance-degree < k, however ties are broken.  So instead of
+   popping one minimum at a time, each level k removes the entire
+   cascade of vertices whose live degree falls to <= k, in batched
+   sub-rounds; every removed vertex gets core number k, which is
+   exactly what the sequential bucket peel's running maximum assigns.
+
+   Parallel structure per sub-round: the read-only scan that maps each
+   frontier vertex to the live instances it retires fans out across
+   the pool; mutations (liveness bits, degree decrements, the next
+   sub-frontier) are applied sequentially from the chunk-ordered scan
+   results.  An instance containing several frontier vertices is
+   retired exactly once, by its first in-frontier member (member
+   arrays are sorted, so ownership is well-defined and needs no
+   synchronisation to agree across domains).
+
+   The peel [order] is a valid peel order but not the sequential
+   bucket order (within a level the bucket queue interleaves the
+   cascade LIFO); callers that consume [order] — residual-density
+   tracking — use the sequential engine instead, which is why
+   [decompose] only routes here when [track_density] is off. *)
+let peel_frontier ~pool ~n store =
+  let module IS = Dsd_clique.Instance_store in
+  let core = Array.make n 0 in
+  let order = Array.make n 0 in
+  let pos = ref 0 in
+  let alive = Array.make n true in
+  let in_frontier = Array.make n false in
+  let queued = Array.make n false in
+  let k = ref 0 in
+  let kmax = ref 0 in
+  (* Fixed chunk sizes: scan results merge in chunk order, and with
+     boundaries independent of the pool size the peel order is the
+     same for every domain count. *)
+  let scan_chunk = 4096 and frontier_chunk = 256 in
+  while !pos < n do
+    (* Next level: the minimum live degree (strictly above the level
+       just drained, so k advances past empty levels in one step). *)
+    let level =
+      Dsd_util.Pool.fold_chunks pool ~chunk:scan_chunk ~n ~init:max_int
+        ~merge:min (fun lo hi ->
+          let m = ref max_int in
+          for v = lo to hi - 1 do
+            if alive.(v) then begin
+              let d = IS.degree store v in
+              if d < !m then m := d
+            end
+          done;
+          !m)
+    in
+    assert (level < max_int);
+    k := level;
+    kmax := level;
+    let frontier =
+      ref
+        (Array.concat
+           (Array.to_list
+              (Dsd_util.Pool.map_chunks pool ~chunk:scan_chunk ~n (fun lo hi ->
+                   let out = Dsd_util.Vec.Int.create () in
+                   for v = lo to hi - 1 do
+                     if alive.(v) && IS.degree store v <= !k then
+                       Dsd_util.Vec.Int.push out v
+                   done;
+                   Dsd_util.Vec.Int.to_array out))))
+    in
+    while Array.length !frontier > 0 do
+      let fr = !frontier in
+      let fn = Array.length fr in
+      Array.iter (fun v -> in_frontier.(v) <- true) fr;
+      (* Read-only ownership scan: liveness and degrees are not
+         mutated until the kill lists are complete. *)
+      let kill_lists =
+        Dsd_util.Pool.map_chunks pool ~chunk:frontier_chunk ~n:fn
+          (fun lo hi ->
+            let kills = Dsd_util.Vec.Int.create () in
+            for idx = lo to hi - 1 do
+              let v = fr.(idx) in
+              IS.iter_live_of_vertex store v ~f:(fun i ->
+                  let members = IS.members store i in
+                  let rec owner j =
+                    if in_frontier.(members.(j)) then members.(j)
+                    else owner (j + 1)
+                  in
+                  if owner 0 = v then Dsd_util.Vec.Int.push kills i)
+            done;
+            kills)
+      in
+      Array.iter
+        (fun v ->
+          alive.(v) <- false;
+          core.(v) <- !k;
+          order.(!pos) <- v;
+          incr pos;
+          Dsd_obs.Counter.incr Dsd_obs.Counter.Peeled_vertices)
+        fr;
+      let next = Dsd_util.Vec.Int.create () in
+      Array.iter
+        (fun kills ->
+          Dsd_util.Vec.Int.iter
+            (fun i ->
+              IS.kill_instance_with store i ~on_comember:(fun u ->
+                  if
+                    alive.(u) && (not queued.(u)) && IS.degree store u <= !k
+                  then begin
+                    queued.(u) <- true;
+                    Dsd_util.Vec.Int.push next u
+                  end))
+            kills)
+        kill_lists;
+      Array.iter (fun v -> in_frontier.(v) <- false) fr;
+      let nf = Dsd_util.Vec.Int.to_array next in
+      Array.iter (fun v -> queued.(v) <- false) nf;
+      frontier := nf
+    done
+  done;
+  assert (IS.live_total store = 0);
+  (core, order, !kmax)
+
+let decompose_generic ?pool ~track_density g psi =
   let n = G.n g in
-  let insts = Enumerate.instances g psi in
+  let insts = Enumerate.instances ?pool g psi in
   let store = Dsd_clique.Instance_store.create ~n insts in
+  match pool with
+  | Some pool when (not track_density) && n > 0 ->
+    let mu_total = Dsd_clique.Instance_store.total store in
+    let core, order, kmax = peel_frontier ~pool ~n store in
+    (core, order, kmax, 0., 0, [||], mu_total)
+  | _ ->
   let max_deg = ref 1 in
   for v = 0 to n - 1 do
     if Dsd_clique.Instance_store.degree store v > !max_deg then
@@ -131,7 +258,7 @@ let decompose_special g ~degrees_of ~on_delete =
   in
   (psize_sum, retire, heap)
 
-let decompose ?(track_density = true) g (psi : P.t) =
+let decompose ?pool ?(track_density = true) g (psi : P.t) =
   Dsd_obs.Span.with_ Dsd_obs.Phase.decompose @@ fun () ->
   let n = G.n g in
   let core_arr, order, kmax, best_density, best_start, residuals, mu_total =
@@ -164,7 +291,7 @@ let decompose ?(track_density = true) g (psi : P.t) =
           ~retire
       in
       (core, order, kmax, bd, bs, residuals, mu_total)
-    | P.Clique | P.Generic -> decompose_generic ~track_density g psi
+    | P.Clique | P.Generic -> decompose_generic ?pool ~track_density g psi
   in
   {
     psi;

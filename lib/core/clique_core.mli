@@ -34,8 +34,20 @@ type t = {
 
 (** [decompose g psi] runs the decomposition.  [~track_density:false]
     skips the rho' bookkeeping (IncApp mode); the density fields are
-    then 0. *)
+    then 0.
+
+    [?pool] parallelises the generic engine across a shared domain
+    pool: instance enumeration always, and — when [track_density] is
+    off — the peel itself, frontier-synchronously (each level retires
+    the whole cascade of vertices at the minimum degree in batched
+    rounds, with the instance-retirement scan fanned out over the
+    pool).  Core numbers, [kmax] and [mu_total] are exactly the
+    sequential values for every pool size; the peel [order] is a valid
+    peel order but not the sequential tie-breaking, which is why the
+    density-tracking mode (whose result reads [order]) keeps the
+    sequential peel and parallelises only the enumeration. *)
 val decompose :
+  ?pool:Dsd_util.Pool.t ->
   ?track_density:bool -> Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> t
 
 (** [core_vertices t ~k] is the vertex set of the (k, Psi)-core

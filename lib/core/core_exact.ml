@@ -21,7 +21,7 @@ type result = {
 
 let safe_ceil = Dsd_util.Float_guard.safe_ceil
 
-let run ?(prunings = all_prunings) ?(grouped = false) ?family g psi =
+let run ?pool ?(prunings = all_prunings) ?(grouped = false) ?family g psi =
   Dsd_obs.Span.with_ Dsd_obs.Phase.core_exact @@ fun () ->
   let t0 = Dsd_util.Timer.now_s () in
   let p = psi.Dsd_pattern.Pattern.size in
@@ -36,7 +36,7 @@ let run ?(prunings = all_prunings) ?(grouped = false) ?family g psi =
   (* ---- Step 1: (k, Psi)-core decomposition, tracking rho' ---- *)
   let decomp, decompose_s =
     Dsd_util.Timer.time (fun () ->
-        Clique_core.decompose ~track_density:prunings.p1 g psi)
+        Clique_core.decompose ?pool ~track_density:prunings.p1 g psi)
   in
   let kmax = decomp.Clique_core.kmax in
   let finish best =
@@ -102,7 +102,7 @@ let run ?(prunings = all_prunings) ?(grouped = false) ?family g psi =
       incr iterations;
       Dsd_obs.Counter.incr Dsd_obs.Counter.Core_iterations;
       Dsd_util.Timer.Span.start flow_span;
-      let network = Flow_build.build family gc psi ~instances ~alpha in
+      let network = Flow_build.build ?pool family gc psi ~instances ~alpha in
       network_nodes := network.node_count :: !network_nodes;
       let s_side = Flow_build.solve network in
       Dsd_util.Timer.Span.stop flow_span;
@@ -123,7 +123,7 @@ let run ?(prunings = all_prunings) ?(grouped = false) ?family g psi =
           map := m
         in
         rebuild comp;
-        let instances = ref (Enumerate.instances !gc psi) in
+        let instances = ref (Enumerate.instances ?pool !gc psi) in
         let comp = ref comp in
         (* Feasibility probe at alpha = l (lines 7-9). *)
         let s0 = solve_network !gc !l ~instances:!instances in
@@ -156,7 +156,7 @@ let run ?(prunings = all_prunings) ?(grouped = false) ?family g psi =
                 then begin
                   comp := smaller;
                   rebuild smaller;
-                  instances := Enumerate.instances !gc psi
+                  instances := Enumerate.instances ?pool !gc psi
                 end
               end;
               l := alpha

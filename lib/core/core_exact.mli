@@ -47,6 +47,7 @@ type result = {
     the network construction ([~grouped] only affects the automatic
     choice for non-clique patterns). *)
 val run :
+  ?pool:Dsd_util.Pool.t ->
   ?prunings:prunings ->
   ?grouped:bool ->
   ?family:Flow_build.family ->

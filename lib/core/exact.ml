@@ -12,7 +12,7 @@ type result = {
   stats : stats;
 }
 
-let run ?family g psi =
+let run ?pool ?family g psi =
   Dsd_obs.Span.with_ Dsd_obs.Phase.exact @@ fun () ->
   let t0 = Dsd_util.Timer.now_s () in
   let n = G.n g in
@@ -24,17 +24,13 @@ let run ?family g psi =
   let instances =
     match family with
     | Flow_build.Eds -> [||]   (* the EDS network needs no instance list *)
-    | _ -> Enumerate.instances g psi
+    | _ -> Enumerate.instances ?pool g psi
   in
   let max_deg =
     match family with
     | Flow_build.Eds -> G.max_degree g
     | _ ->
-      let deg = Array.make n 0 in
-      Array.iter
-        (fun inst -> Array.iter (fun v -> deg.(v) <- deg.(v) + 1) inst)
-        instances;
-      Array.fold_left max 0 deg
+      Array.fold_left max 0 (Flow_build.instance_degrees ?pool n instances)
   in
   let mu =
     match family with
@@ -62,7 +58,7 @@ let run ?family g psi =
       incr iterations;
       Dsd_obs.Counter.incr Dsd_obs.Counter.Core_iterations;
       let alpha = (!l +. !u) /. 2. in
-      let network = Flow_build.build family g psi ~instances ~alpha in
+      let network = Flow_build.build ?pool family g psi ~instances ~alpha in
       last_nodes := network.node_count;
       let s_side = Flow_build.solve network in
       if Array.length s_side = 0 then u := alpha

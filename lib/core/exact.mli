@@ -22,5 +22,6 @@ type result = {
     [family] overrides the flow-network construction (defaults to the
     paper's choice for the pattern kind). *)
 val run :
+  ?pool:Dsd_util.Pool.t ->
   ?family:Flow_build.family ->
   Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> result

@@ -37,26 +37,53 @@ let eds_network g ~alpha =
       ignore (F.add_edge net ~src:(vertex_node v) ~dst:(vertex_node u) ~cap:1.));
   { net; source; sink; n_vertices = n; node_count = size }
 
-(* Shared degree computation from an instance list. *)
-let degrees_of_instances n instances =
-  let deg = Array.make n 0 in
-  Array.iter
-    (fun inst -> Array.iter (fun v -> deg.(v) <- deg.(v) + 1) inst)
-    instances;
-  deg
+(* Shared degree computation from an instance list.  With a pool the
+   per-chunk partial counts fan out across domains; integer addition
+   commutes, so the merged array is exactly the sequential one. *)
+let degrees_of_instances ?pool n instances =
+  match pool with
+  | Some pool when Array.length instances > 0 && n > 0 ->
+    let len = Array.length instances in
+    let chunk = max 1024 (len / (2 * Dsd_util.Pool.size pool)) in
+    let parts =
+      Dsd_util.Pool.map_chunks pool ~chunk ~n:len (fun lo hi ->
+          let deg = Array.make n 0 in
+          for i = lo to hi - 1 do
+            Array.iter (fun v -> deg.(v) <- deg.(v) + 1) instances.(i)
+          done;
+          deg)
+    in
+    let first = parts.(0) in
+    for p = 1 to Array.length parts - 1 do
+      let part = parts.(p) in
+      for v = 0 to n - 1 do
+        first.(v) <- first.(v) + part.(v)
+      done
+    done;
+    first
+  | _ ->
+    let deg = Array.make n 0 in
+    Array.iter
+      (fun inst -> Array.iter (fun v -> deg.(v) <- deg.(v) + 1) inst)
+      instances;
+    deg
 
-let clique_network_pre ?(pinned = [||]) g ~h ~instances ~alpha =
+let instance_degrees = degrees_of_instances
+
+let clique_network_pre ?pool ?(pinned = [||]) g ~h ~instances ~alpha =
   let n = G.n g in
-  (* Node each (h-1)-subset of some h-clique.  Keyed by the sorted
-     member array. *)
-  let sub_ids : (int array, int) Hashtbl.t = Hashtbl.create 256 in
-  let next = ref 0 in
-  let arcs = ref [] in
-  (* For every h-clique and every member v: arc v -> (clique minus v). *)
-  Array.iter
-    (fun inst ->
+  let ninst = Array.length instances in
+  (* For every h-clique and every member v, an arc v -> (clique minus
+     v) is needed.  Materialising the (member, subset) pairs is the
+     allocation-heavy part, and each pair depends on one instance
+     only, so it stripes across the pool; chunks concatenate back to
+     the forward generation order. *)
+  let pairs_chunk lo hi =
+    let out = Array.make ((hi - lo) * h) (0, [||]) in
+    let p = ref 0 in
+    for ii = lo to hi - 1 do
+      let inst = instances.(ii) in
       for i = 0 to h - 1 do
-        let v = inst.(i) in
         let psi = Array.make (h - 1) 0 in
         let k = ref 0 in
         for j = 0 to h - 1 do
@@ -65,24 +92,50 @@ let clique_network_pre ?(pinned = [||]) g ~h ~instances ~alpha =
             incr k
           end
         done;
-        let id =
-          match Hashtbl.find_opt sub_ids psi with
-          | Some id -> id
-          | None ->
-            let id = !next in
-            incr next;
-            Hashtbl.add sub_ids psi id;
-            id
-        in
-        arcs := (v, id) :: !arcs
-      done)
-    instances;
+        out.(!p) <- (inst.(i), psi);
+        incr p
+      done
+    done;
+    out
+  in
+  let pairs =
+    if ninst = 0 then [||]
+    else
+      match pool with
+      | None -> pairs_chunk 0 ninst
+      | Some pool ->
+        let chunk = max 512 (ninst / (8 * Dsd_util.Pool.size pool)) in
+        Array.concat
+          (Array.to_list
+             (Dsd_util.Pool.map_chunks pool ~chunk ~n:ninst pairs_chunk))
+  in
+  (* Node each (h-1)-subset of some h-clique, keyed by the sorted
+     member array.  Ids are assigned sequentially in forward pair
+     order: the hash table sees the same insertions in the same order
+     as a fully sequential build, so its iteration order — and with it
+     every arc of the network — is bit-identical for any pool size. *)
+  let sub_ids : (int array, int) Hashtbl.t = Hashtbl.create 256 in
+  let next = ref 0 in
+  let arcs = ref [] in
+  Array.iter
+    (fun (v, psi) ->
+      let id =
+        match Hashtbl.find_opt sub_ids psi with
+        | Some id -> id
+        | None ->
+          let id = !next in
+          incr next;
+          Hashtbl.add sub_ids psi id;
+          id
+      in
+      arcs := (v, id) :: !arcs)
+    pairs;
   let lambda = !next in
   let size = n + lambda + 2 in
   let net = F.create size in
   let source = 0 and sink = size - 1 in
   let sub_node id = n + 1 + id in
-  let deg = degrees_of_instances n instances in
+  let deg = degrees_of_instances ?pool n instances in
   for v = 0 to n - 1 do
     if deg.(v) > 0 then
       ignore (F.add_edge net ~src:source ~dst:(vertex_node v)
@@ -112,7 +165,7 @@ let clique_network_pre ?(pinned = [||]) g ~h ~instances ~alpha =
 let clique_network g ~h ~alpha =
   clique_network_pre g ~h ~instances:(Dsd_clique.Kclist.list g ~h) ~alpha
 
-let pds_network_generic ?(pinned = [||]) ~grouped g (psi : P.t) ~instances ~alpha =
+let pds_network_generic ?pool ?(pinned = [||]) ~grouped g (psi : P.t) ~instances ~alpha =
   let n = G.n g in
   let p = psi.size in
   (* construct+ groups instances sharing a vertex set; the ungrouped
@@ -135,7 +188,7 @@ let pds_network_generic ?(pinned = [||]) ~grouped g (psi : P.t) ~instances ~alph
   let net = F.create size in
   let source = 0 and sink = size - 1 in
   let group_node id = n + 1 + id in
-  let deg = degrees_of_instances n instances in
+  let deg = degrees_of_instances ?pool n instances in
   for v = 0 to n - 1 do
     if deg.(v) > 0 then
       ignore (F.add_edge net ~src:source ~dst:(vertex_node v)
@@ -160,14 +213,14 @@ let pds_network_generic ?(pinned = [||]) ~grouped g (psi : P.t) ~instances ~alph
     groups;
   { net; source; sink; n_vertices = n; node_count = size }
 
-let pds_network_pre ?pinned g psi ~instances ~alpha =
-  pds_network_generic ?pinned ~grouped:false g psi ~instances ~alpha
+let pds_network_pre ?pool ?pinned g psi ~instances ~alpha =
+  pds_network_generic ?pool ?pinned ~grouped:false g psi ~instances ~alpha
 
 let pds_network g psi ~alpha =
   pds_network_pre g psi ~instances:(Enumerate.instances g psi) ~alpha
 
-let pds_network_grouped_pre ?pinned g psi ~instances ~alpha =
-  pds_network_generic ?pinned ~grouped:true g psi ~instances ~alpha
+let pds_network_grouped_pre ?pool ?pinned g psi ~instances ~alpha =
+  pds_network_generic ?pool ?pinned ~grouped:true g psi ~instances ~alpha
 
 let pds_network_grouped g psi ~alpha =
   pds_network_grouped_pre g psi ~instances:(Enumerate.instances g psi) ~alpha
@@ -180,7 +233,7 @@ let auto_family (psi : P.t) ~grouped =
   | P.Clique -> Clique_flow
   | P.Star _ | P.Cycle4 | P.Generic -> if grouped then Pds_grouped else Pds
 
-let build ?pinned family g (psi : P.t) ~instances ~alpha =
+let build ?pool ?pinned family g (psi : P.t) ~instances ~alpha =
   Dsd_obs.Span.with_ Dsd_obs.Phase.build_network @@ fun () ->
   Dsd_obs.Counter.incr Dsd_obs.Counter.Networks_built;
   match family with
@@ -190,7 +243,7 @@ let build ?pinned family g (psi : P.t) ~instances ~alpha =
      | Some _ ->
        (* The Goldberg construction has no pinning analysis; fall back
           to the generic h = 2 network, which supports it. *)
-       clique_network_pre ?pinned g ~h:2 ~instances:(Array.map (fun (u, v) -> [| u; v |]) (G.edges g)) ~alpha)
-  | Clique_flow -> clique_network_pre ?pinned g ~h:psi.size ~instances ~alpha
-  | Pds -> pds_network_pre ?pinned g psi ~instances ~alpha
-  | Pds_grouped -> pds_network_grouped_pre ?pinned g psi ~instances ~alpha
+       clique_network_pre ?pool ?pinned g ~h:2 ~instances:(Array.map (fun (u, v) -> [| u; v |]) (G.edges g)) ~alpha)
+  | Clique_flow -> clique_network_pre ?pool ?pinned g ~h:psi.size ~instances ~alpha
+  | Pds -> pds_network_pre ?pool ?pinned g psi ~instances ~alpha
+  | Pds_grouped -> pds_network_grouped_pre ?pool ?pinned g psi ~instances ~alpha

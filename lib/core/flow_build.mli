@@ -34,11 +34,22 @@ val eds_network : Dsd_graph.Graph.t -> alpha:float -> t
 
 val clique_network : Dsd_graph.Graph.t -> h:int -> alpha:float -> t
 
+(** [instance_degrees ~n instances] is deg(v, Psi) restricted to
+    [instances], for v in [0..n-1].  With [?pool] the partial counts
+    stripe across the pool's domains and merge deterministically. *)
+val instance_degrees :
+  ?pool:Dsd_util.Pool.t -> int -> int array array -> int array
+
 (** [clique_network_pre] reuses h-clique instances enumerated once per
     component across the binary-search iterations.  [pinned] vertices
     get infinite-capacity source arcs, forcing them onto the source
-    side of every min cut (the query-vertex variant, Section 6.3). *)
+    side of every min cut (the query-vertex variant, Section 6.3).
+    With [?pool], the per-instance arc material — member/(h-1)-subset
+    pairs and instance degrees — is built in stripes across the pool
+    and merged in stripe order, so the resulting network is arc-for-arc
+    identical to the sequential construction for every pool size. *)
 val clique_network_pre :
+  ?pool:Dsd_util.Pool.t ->
   ?pinned:int array ->
   Dsd_graph.Graph.t -> h:int -> instances:int array array -> alpha:float -> t
 
@@ -46,6 +57,7 @@ val pds_network :
   Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> alpha:float -> t
 
 val pds_network_pre :
+  ?pool:Dsd_util.Pool.t ->
   ?pinned:int array ->
   Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> instances:int array array ->
   alpha:float -> t
@@ -54,6 +66,7 @@ val pds_network_grouped :
   Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> alpha:float -> t
 
 val pds_network_grouped_pre :
+  ?pool:Dsd_util.Pool.t ->
   ?pinned:int array ->
   Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> instances:int array array ->
   alpha:float -> t
@@ -74,6 +87,7 @@ val auto_family : Dsd_pattern.Pattern.t -> grouped:bool -> family
     [pinned] set, [Eds] falls back to the generic h = 2 network (the
     Goldberg construction has no pinning analysis). *)
 val build :
+  ?pool:Dsd_util.Pool.t ->
   ?pinned:int array ->
   family -> Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t ->
   instances:int array array -> alpha:float -> t

@@ -9,4 +9,9 @@ type result = {
   elapsed_s : float;
 }
 
-val run : Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> result
+(** [?pool] parallelises enumeration and the frontier-synchronous
+    peel; core numbers (hence the returned core) are exactly the
+    sequential ones. *)
+val run :
+  ?pool:Dsd_util.Pool.t ->
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> result

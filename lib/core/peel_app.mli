@@ -12,4 +12,9 @@ type result = {
   elapsed_s : float;
 }
 
-val run : Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> result
+(** [?pool] parallelises instance enumeration; the result is
+    bit-identical for every pool size (the peel itself stays
+    sequential: the returned suffix depends on the peel order). *)
+val run :
+  ?pool:Dsd_util.Pool.t ->
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> result

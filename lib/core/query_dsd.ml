@@ -25,7 +25,7 @@ let family_for (psi : P.t) =
    so the decision "exists S containing Q with density > alpha" is read
    off the exact density of the returned side (which is itself the
    witness). *)
-let search g psi ~query ~candidates ~l0 ~u0 ~witness0 ~iterations =
+let search ?pool g psi ~query ~candidates ~l0 ~u0 ~witness0 ~iterations =
   let family = family_for psi in
   let gc, map = G.induced g candidates in
   let back = Array.make (G.n g) (-1) in
@@ -34,14 +34,14 @@ let search g psi ~query ~candidates ~l0 ~u0 ~witness0 ~iterations =
   (* Candidates must cover the query (the k_loc-core does by
      construction). *)
   assert (Array.for_all (fun q -> q >= 0) pinned);
-  let instances = Enumerate.instances gc psi in
+  let instances = Enumerate.instances ?pool gc psi in
   let best = ref witness0 in
   let l = ref (max l0 !best.Density.density) and u = ref u0 in
   let gap = Density.stop_gap (G.n gc) in
   while !u -. !l >= gap do
     incr iterations;
     let alpha = (!l +. !u) /. 2. in
-    let network = Flow_build.build ~pinned family gc psi ~instances ~alpha in
+    let network = Flow_build.build ?pool ~pinned family gc psi ~instances ~alpha in
     let side = Flow_build.solve network in
     let side_orig = Array.map (fun v -> map.(v)) side in
     let cand = Density.of_vertices g psi side_orig in
@@ -53,26 +53,26 @@ let search g psi ~query ~candidates ~l0 ~u0 ~witness0 ~iterations =
   done;
   !best
 
-let run_naive g psi ~query =
+let run_naive ?pool g psi ~query =
   validate g query;
   let t0 = Dsd_util.Timer.now_s () in
   let iterations = ref 0 in
   let everything = Array.init (G.n g) Fun.id in
-  let u0 = float_of_int (Enumerate.max_degree g psi) in
+  let u0 = float_of_int (Enumerate.max_degree ?pool g psi) in
   let witness0 = Density.of_vertices g psi everything in
   let best =
     if u0 = 0. then Density.of_vertices g psi query
     else
-      search g psi ~query ~candidates:everything ~l0:0. ~u0 ~witness0
+      search ?pool g psi ~query ~candidates:everything ~l0:0. ~u0 ~witness0
         ~iterations
   in
   { subgraph = best; iterations = !iterations; elapsed_s = Dsd_util.Timer.now_s () -. t0 }
 
-let run g psi ~query =
+let run ?pool g psi ~query =
   validate g query;
   let t0 = Dsd_util.Timer.now_s () in
   let iterations = ref 0 in
-  let decomp = Clique_core.decompose ~track_density:false g psi in
+  let decomp = Clique_core.decompose ?pool ~track_density:false g psi in
   (* x = minimum clique-core number over the query: the x-core is the
      densest core certain to contain Q. *)
   let x =
@@ -99,6 +99,6 @@ let run g psi ~query =
   in
   let best =
     if decomp.Clique_core.mu_total = 0 then Density.of_vertices g psi query
-    else search g psi ~query ~candidates ~l0 ~u0 ~witness0 ~iterations
+    else search ?pool g psi ~query ~candidates ~l0 ~u0 ~witness0 ~iterations
   in
   { subgraph = best; iterations = !iterations; elapsed_s = Dsd_util.Timer.now_s () -. t0 }

@@ -22,10 +22,12 @@ type result = {
 (** [run g psi ~query] solves the variant exactly.
     @raise Invalid_argument if [query] is empty or out of range. *)
 val run :
+  ?pool:Dsd_util.Pool.t ->
   Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> query:int array -> result
 
 (** [run_naive g psi ~query] is the same binary search without the core
     restriction (the [65] baseline; used for tests and the ablation
     bench). *)
 val run_naive :
+  ?pool:Dsd_util.Pool.t ->
   Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> query:int array -> result

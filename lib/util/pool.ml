@@ -1,0 +1,190 @@
+exception Nested
+
+type job = {
+  n : int;
+  chunk_len : int;
+  nchunks : int;
+  next : int Atomic.t;
+  body : int -> int -> unit;
+  wrap : (unit -> unit) -> unit;
+  failed : exn option Atomic.t;
+}
+
+type t = {
+  size : int;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  wake : Condition.t;
+  drained : Condition.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable active : int;
+  mutable stop : bool;
+  mutable alive : bool;
+  busy : bool Atomic.t;
+}
+
+(* Every participant — caller and each worker — runs [wrap] exactly
+   once per job, then claims chunks until the shared cursor runs out.
+   Exceptions (from the body or from a broken [wrap]) are parked in
+   [failed]; the job still drains so the chunk accounting stays
+   simple, and the caller re-raises the first one. *)
+let participate job =
+  let claim () =
+    let continue_ = ref true in
+    while !continue_ do
+      let i = Atomic.fetch_and_add job.next 1 in
+      if i >= job.nchunks then continue_ := false
+      else begin
+        let lo = i * job.chunk_len in
+        let hi = min job.n (lo + job.chunk_len) in
+        try job.body lo hi
+        with e -> ignore (Atomic.compare_and_set job.failed None (Some e))
+      end
+    done
+  in
+  try job.wrap claim
+  with e -> ignore (Atomic.compare_and_set job.failed None (Some e))
+
+let worker t =
+  let last = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.m;
+    while (not t.stop) && t.generation = !last do
+      Condition.wait t.wake t.m
+    done;
+    if t.generation = !last then begin
+      (* [stop] set with no fresh job: exit. *)
+      Mutex.unlock t.m;
+      running := false
+    end
+    else begin
+      last := t.generation;
+      let job = Option.get t.job in
+      Mutex.unlock t.m;
+      participate job;
+      Mutex.lock t.m;
+      t.active <- t.active - 1;
+      if t.active = 0 then Condition.broadcast t.drained;
+      Mutex.unlock t.m
+    end
+  done
+
+let create size =
+  if size < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let t =
+    {
+      size;
+      workers = [||];
+      m = Mutex.create ();
+      wake = Condition.create ();
+      drained = Condition.create ();
+      job = None;
+      generation = 0;
+      active = 0;
+      stop = false;
+      alive = true;
+      busy = Atomic.make false;
+    }
+  in
+  t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  if not t.alive then invalid_arg "Pool.shutdown: already shut down";
+  if Atomic.get t.busy then invalid_arg "Pool.shutdown: pool is running a job";
+  t.alive <- false;
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.m;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool size f =
+  let t = create size in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run t job =
+  if not t.alive then invalid_arg "Pool: used after shutdown";
+  if not (Atomic.compare_and_set t.busy false true) then raise Nested;
+  if t.size = 1 then participate job
+  else begin
+    Mutex.lock t.m;
+    t.job <- Some job;
+    t.generation <- t.generation + 1;
+    t.active <- t.size - 1;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.m;
+    participate job;
+    Mutex.lock t.m;
+    while t.active > 0 do
+      Condition.wait t.drained t.m
+    done;
+    t.job <- None;
+    Mutex.unlock t.m
+  end;
+  Atomic.set t.busy false;
+  match Atomic.get job.failed with Some e -> raise e | None -> ()
+
+let default_wrap f = f ()
+
+(* Default granularity: several chunks per domain so the shared cursor
+   load-balances skewed work, but coarse enough that the atomic claim
+   is noise.  Callers whose per-chunk setup allocates (e.g. a scratch
+   array per chunk) pass an explicitly coarser [chunk]. *)
+let chunk_len_for t ?chunk n =
+  match chunk with
+  | Some c ->
+    if c < 1 then invalid_arg "Pool: chunk must be >= 1";
+    c
+  | None -> max 1 (n / (8 * t.size))
+
+let parallel_for t ?chunk ?(wrap = default_wrap) ~n body =
+  if n < 0 then invalid_arg "Pool.parallel_for: n must be >= 0";
+  if n = 0 then ()
+  else begin
+    let chunk_len = chunk_len_for t ?chunk n in
+    let nchunks = (n + chunk_len - 1) / chunk_len in
+    run t
+      {
+        n;
+        chunk_len;
+        nchunks;
+        next = Atomic.make 0;
+        body;
+        wrap;
+        failed = Atomic.make None;
+      }
+  end
+
+let map_chunks t ?chunk ?(wrap = default_wrap) ~n f =
+  if n < 0 then invalid_arg "Pool.map_chunks: n must be >= 0";
+  if n = 0 then [||]
+  else begin
+    let chunk_len = chunk_len_for t ?chunk n in
+    let nchunks = (n + chunk_len - 1) / chunk_len in
+    let slots = Array.make nchunks None in
+    let body lo hi = slots.(lo / chunk_len) <- Some (f lo hi) in
+    run t
+      {
+        n;
+        chunk_len;
+        nchunks;
+        next = Atomic.make 0;
+        body;
+        wrap;
+        failed = Atomic.make None;
+      };
+    Array.map
+      (function
+        | Some x -> x
+        | None -> invalid_arg "Pool.map_chunks: missing chunk result")
+      slots
+  end
+
+let fold_chunks t ?chunk ?wrap ~n ~init ~merge f =
+  Array.fold_left merge init (map_chunks t ?chunk ?wrap ~n f)

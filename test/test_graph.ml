@@ -164,6 +164,72 @@ let test_io_parses_comments_and_sparse_ids () =
   Alcotest.(check int) "m" 3 (G.m g);
   Alcotest.(check (array int)) "map" [| 10; 20; 30 |] map
 
+let test_io_crlf_and_blank_lines () =
+  (* Windows line endings and stray blank lines are tolerated. *)
+  let data = "# crlf file\r\n\r\n0 1\r\n1 2\r\n\n2 0\r\n" in
+  let g, map = Dsd_graph.Io.read_string data in
+  Alcotest.(check int) "n" 3 (G.n g);
+  Alcotest.(check int) "m" 3 (G.m g);
+  Alcotest.(check (array int)) "map" [| 0; 1; 2 |] map
+
+let test_io_duplicate_and_reversed_edges () =
+  (* The same edge listed twice — also reversed — collapses to one. *)
+  let data = "3 7\n7 3\n3 7\n7 9\n" in
+  let g, map = Dsd_graph.Io.read_string data in
+  Alcotest.(check int) "n" 3 (G.n g);
+  Alcotest.(check int) "m" 2 (G.m g);
+  Alcotest.(check (array int)) "map" [| 3; 7; 9 |] map;
+  Alcotest.(check int) "degree of 7" 2 (G.degree g (Array.length map - 2))
+
+let test_io_self_loop_keeps_vertex () =
+  (* A self-loop contributes no edge, but its endpoint still exists —
+     this is how an edge-list file can carry an isolated max-id
+     vertex. *)
+  let data = "0 1\n5 5\n" in
+  let g, map = Dsd_graph.Io.read_string data in
+  Alcotest.(check int) "n" 3 (G.n g);
+  Alcotest.(check int) "m" 1 (G.m g);
+  Alcotest.(check (array int)) "map" [| 0; 1; 5 |] map;
+  Alcotest.(check int) "isolated" 0 (G.degree g 2)
+
+let test_io_rejects_malformed () =
+  List.iter
+    (fun data ->
+      match Dsd_graph.Io.read_string data with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "accepted malformed input %S" data)
+    [ "0 x\n"; "lonely\n"; "1 -2\n" ]
+
+(* Property: a Subgraph view after an arbitrary deletion sequence
+   agrees with naively re-inducing the graph on the survivors. *)
+let subgraph_matches_naive_prop g =
+  let n = G.n g in
+  let live = Sub.of_graph g in
+  let prng = Dsd_util.Prng.create 99 in
+  let alive = Array.make n true in
+  let deletions = if n = 0 then 0 else Dsd_util.Prng.int prng n in
+  for _ = 1 to deletions do
+    let v = ref (Dsd_util.Prng.int prng n) in
+    while not alive.(!v) do
+      v := (!v + 1) mod n
+    done;
+    alive.(!v) <- false;
+    Sub.delete live !v
+  done;
+  let survivors =
+    Array.of_list (List.filter (fun v -> alive.(v)) (List.init n Fun.id))
+  in
+  let naive, map = G.induced g survivors in
+  (* map is ascending old ids, so survivor i has naive id i. *)
+  assert (map = survivors);
+  Sub.live_count live = Array.length survivors
+  && Sub.live_edges live = G.m naive
+  && Array.for_all
+       (fun i -> Sub.live_degree live survivors.(i) = G.degree naive i)
+       (Array.init (Array.length survivors) Fun.id)
+  && (let g', map' = Sub.to_graph live in
+      G.equal g' naive && map' = survivors)
+
 let suite =
   [
     Alcotest.test_case "build dedup" `Quick test_build_dedup;
@@ -186,4 +252,11 @@ let suite =
     Alcotest.test_case "subgraph subset" `Quick test_subgraph_subset;
     Alcotest.test_case "io roundtrip" `Quick test_io_roundtrip;
     Alcotest.test_case "io parse" `Quick test_io_parses_comments_and_sparse_ids;
+    Alcotest.test_case "io crlf" `Quick test_io_crlf_and_blank_lines;
+    Alcotest.test_case "io duplicate edges" `Quick test_io_duplicate_and_reversed_edges;
+    Alcotest.test_case "io self-loop vertex" `Quick test_io_self_loop_keeps_vertex;
+    Alcotest.test_case "io malformed" `Quick test_io_rejects_malformed;
+    Helpers.qtest "subgraph deletions match naive"
+      (Helpers.small_graph_arb ~max_n:25 ~max_m:70 ())
+      subgraph_matches_naive_prop;
   ]

@@ -17,6 +17,7 @@ let () =
       ("data", Test_data.suite);
       ("query", Test_query.suite);
       ("extensions", Test_extensions.suite);
+      ("parallel", Test_parallel_prop.suite);
       ("future-work", Test_future_work.suite);
       ("ld-decomposition", Test_ld.suite);
       ("directed", Test_directed.suite);

@@ -1,6 +1,6 @@
 # Convenience targets; CI should run `make check`.
 
-.PHONY: all build test fmt check bench-phases clean
+.PHONY: all build test test-flow fmt check bench-phases bench-retarget clean
 
 all: build
 
@@ -9,6 +9,14 @@ build:
 
 test:
 	dune runtest
+
+# The flow-layer suites on their own: solver invariants (conservation,
+# max-flow = min-cut, residuals, reset_flow) and the retarget
+# differential/accounting contracts.
+test-flow:
+	dune exec test/test_main.exe -- test flow
+	dune exec test/test_main.exe -- test flow-invariants
+	dune exec test/test_main.exe -- test flow-retarget
 
 # Formatting is checked only when ocamlformat is installed — the
 # toolchain image does not bake it in.
@@ -19,14 +27,20 @@ fmt:
 		echo "ocamlformat not installed; skipping @fmt"; \
 	fi
 
+# fmt runs first so a formatting failure is reported before the long
+# build/test/bench steps.
 check:
-	dune build @default @runtest
-	dune exec bench/main.exe -- --only parallel --smoke
 	$(MAKE) fmt
+	dune build @default @runtest
+	dune exec bench/main.exe -- --only parallel,retarget --smoke
 
 # Per-phase observability breakdown (Dsd_obs spans/counters).
 bench-phases:
 	dune exec bench/main.exe -- --only phases
+
+# Flow-network builds vs O(V) re-alphas (writes BENCH_retarget.json).
+bench-retarget:
+	dune exec bench/main.exe -- --only retarget
 
 clean:
 	dune clean

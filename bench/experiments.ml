@@ -986,6 +986,84 @@ let parallel () =
   close_out oc;
   print_endline "\nwrote BENCH_parallel.json"
 
+(* ---- retarget: network builds vs O(V) re-alphas (BENCH_retarget.json) ---- *)
+
+(* How much of the binary search the prepared/retarget path saves: per
+   dataset x pattern, the iteration count against how many networks
+   were actually constructed (flow_networks_built) vs merely
+   re-capacitated (flow_retargets), plus the span totals of the two
+   phases.  builds < iterations is the point of the tentpole: Exact
+   always builds once, CoreExact once per component arena plus
+   Pruning-3 rebuilds. *)
+let retarget () =
+  let smoke = !H.smoke in
+  H.section
+    (Printf.sprintf "Retarget — flow-network builds vs O(V) re-alphas%s"
+       (if smoke then " [smoke]" else ""));
+  let datasets =
+    if smoke then [ "yeast" ] else [ "yeast"; "netscience"; "as733"; "ca_hepth" ]
+  in
+  let cases =
+    [ ("Exact", "triangle",
+       fun g -> (Dsd_core.Exact.run g P.triangle).Dsd_core.Exact.stats.Dsd_core.Exact.iterations);
+      ("CoreExact", "triangle",
+       fun g -> (Dsd_core.Core_exact.run g P.triangle).Dsd_core.Core_exact.stats.Dsd_core.Core_exact.iterations);
+      ("CorePExact", "diamond",
+       fun g -> (Dsd_core.Core_pexact.run g P.diamond).Dsd_core.Core_exact.stats.Dsd_core.Core_exact.iterations) ]
+  in
+  let json_rows = ref [] in
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]  n=%d m=%d\n" name (G.n g) (G.m g);
+      let rows =
+        List.map
+          (fun (algo, pname, run) ->
+            let cell =
+              H.run_cell ~timeout:(3. *. !H.default_timeout) (fun () ->
+                  let iters, elapsed =
+                    H.timed (fun () ->
+                        Dsd_obs.Control.with_recording (fun () -> run g))
+                  in
+                  Printf.sprintf "%d %d %d %.6f %.6f %.6f" iters
+                    (Dsd_obs.Counter.get Dsd_obs.Counter.Flow_networks_built)
+                    (Dsd_obs.Counter.get Dsd_obs.Counter.Flow_retargets)
+                    elapsed
+                    (Dsd_obs.Span.total_s Dsd_obs.Phase.build_network)
+                    (Dsd_obs.Span.total_s Dsd_obs.Phase.retarget))
+            in
+            match cell with
+            | H.Ok s ->
+              (match String.split_on_char ' ' (String.trim s) with
+               | [ it; b; rt; el; bs; rs ] ->
+                 json_rows :=
+                   Printf.sprintf
+                     "    {\"dataset\": \"%s\", \"algorithm\": \"%s\", \
+                      \"pattern\": \"%s\", \"iterations\": %s, \
+                      \"flow_networks_built\": %s, \"flow_retargets\": %s, \
+                      \"elapsed_s\": %s, \"build_s\": %s, \"retarget_s\": %s}"
+                     name algo pname it b rt el bs rs
+                   :: !json_rows;
+                 [ algo; pname; it; b; rt; el ^ "s"; bs ^ "s"; rs ^ "s" ]
+               | _ -> [ algo; pname; String.trim s; "-"; "-"; "-"; "-"; "-" ])
+            | other ->
+              [ algo; pname; H.show_payload other; "-"; "-"; "-"; "-"; "-" ])
+          cases
+      in
+      H.table
+        ~header:
+          [ "algorithm"; "pattern"; "iters"; "builds"; "retargets"; "total";
+            "build_s"; "retarget_s" ]
+        ~rows)
+    datasets;
+  let oc = open_out "BENCH_retarget.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"retarget\",\n  \"smoke\": %b,\n  \"rows\": [\n%s\n  ]\n}\n"
+    smoke
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  print_endline "\nwrote BENCH_retarget.json"
+
 (* ---- registry ---- *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -1013,6 +1091,7 @@ let all : (string * string * (unit -> unit)) list =
     ("ext_streaming", "extension: streaming eps sweep", ext_streaming);
     ("ext_parallel", "extension: multicore clique counting", ext_parallel);
     ("parallel", "domain-pool speedup vs domains (BENCH_parallel.json)", parallel);
+    ("retarget", "flow-network builds vs re-alphas (BENCH_retarget.json)", retarget);
     ("ext_truss", "extension: truss vs CDS", ext_truss);
     ("ext_sampled", "future work: sampled approximation", ext_sampled);
     ("ext_atleastk", "future work: densest-at-least-k", ext_atleastk);

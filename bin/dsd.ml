@@ -296,12 +296,13 @@ let query =
     C.Arg.(non_empty & pos_all int []
            & info [] ~docv:"VERTEX" ~doc:"Query vertices the subgraph must contain.")
   in
-  let run input dataset pattern domains vertices =
+  let run input dataset pattern domains vertices stats trace =
     let g = load_graph input dataset in
     let psi = pattern_of_string pattern in
     let r =
-      with_domains domains (fun pool ->
-          Dsd_core.Query_dsd.run ~pool g psi ~query:(Array.of_list vertices))
+      with_obs ~stats ~trace (fun () ->
+          with_domains domains (fun pool ->
+              Dsd_core.Query_dsd.run ~pool g psi ~query:(Array.of_list vertices)))
     in
     let sg = r.Dsd_core.Query_dsd.subgraph in
     Printf.printf "pattern    %s\n" psi.P.name;
@@ -312,12 +313,12 @@ let query =
     Array.iter (Printf.printf "%d ") sg.Dsd_core.Density.vertices;
     print_newline ()
   in
-  let run a b c d e = or_die (fun () -> run a b c d e) in
+  let run a b c d e f g = or_die (fun () -> run a b c d e f g) in
   C.Cmd.v
     (C.Cmd.info "query"
        ~doc:"Densest subgraph containing given query vertices (Section 6.3).")
     C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ domains_arg
-            $ vertices)
+            $ vertices $ stats_arg $ trace_arg)
 
 (* ---- truss ---- *)
 

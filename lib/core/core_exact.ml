@@ -98,11 +98,22 @@ let run ?pool ?(prunings = all_prunings) ?(grouped = false) ?family g psi =
            (fun v -> decomp.Clique_core.core.(v) >= threshold)
            (Array.to_list comp))
     in
-    let solve_network gc alpha ~instances =
+    (* Per-component retargetable handle: the arena is built at the
+       first probe and only re-capacitated on later iterations.  A
+       Pruning-3 core shrink changes the vertex set, so the caller
+       resets the handle to [None] and the next probe rebuilds. *)
+    let solve_network ~prepared gc alpha ~instances =
       incr iterations;
       Dsd_obs.Counter.incr Dsd_obs.Counter.Core_iterations;
       Dsd_util.Timer.Span.start flow_span;
-      let network = Flow_build.build ?pool family gc psi ~instances ~alpha in
+      let network =
+        match !prepared with
+        | Some p -> Flow_build.retarget p ~alpha
+        | None ->
+          let p = Flow_build.prepare ?pool family gc psi ~instances ~alpha in
+          prepared := Some p;
+          p.Flow_build.network
+      in
       network_nodes := network.node_count :: !network_nodes;
       let s_side = Flow_build.solve network in
       Dsd_util.Timer.Span.stop flow_span;
@@ -125,8 +136,9 @@ let run ?pool ?(prunings = all_prunings) ?(grouped = false) ?family g psi =
         rebuild comp;
         let instances = ref (Enumerate.instances ?pool !gc psi) in
         let comp = ref comp in
+        let prepared = ref None in
         (* Feasibility probe at alpha = l (lines 7-9). *)
-        let s0 = solve_network !gc !l ~instances:!instances in
+        let s0 = solve_network ~prepared !gc !l ~instances:!instances in
         if Array.length s0 > 0 then begin
           (* Per-component upper bound: max core number inside. *)
           let u =
@@ -143,7 +155,7 @@ let run ?pool ?(prunings = all_prunings) ?(grouped = false) ?family g psi =
           in
           while !u -. !l >= gap () do
             let alpha = (!l +. !u) /. 2. in
-            let s_side = solve_network !gc alpha ~instances:!instances in
+            let s_side = solve_network ~prepared !gc alpha ~instances:!instances in
             if Array.length s_side = 0 then u := alpha
             else begin
               witness := Array.map (fun v -> !map.(v)) s_side;
@@ -156,7 +168,10 @@ let run ?pool ?(prunings = all_prunings) ?(grouped = false) ?family g psi =
                 then begin
                   comp := smaller;
                   rebuild smaller;
-                  instances := Enumerate.instances ?pool !gc psi
+                  instances := Enumerate.instances ?pool !gc psi;
+                  (* The handle's arena indexes the old vertex set:
+                     invalidate so the next probe rebuilds. *)
+                  prepared := None
                 end
               end;
               l := alpha

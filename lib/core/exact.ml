@@ -54,11 +54,21 @@ let run ?pool ?family g psi =
     let best_vertices = ref [||] in
     let iterations = ref 0 in
     let last_nodes = ref 0 in
+    (* The network topology is alpha-invariant: build the arena once on
+       the first iteration, then only re-point the alpha arcs. *)
+    let prepared = ref None in
     while !u -. !l >= gap do
       incr iterations;
       Dsd_obs.Counter.incr Dsd_obs.Counter.Core_iterations;
       let alpha = (!l +. !u) /. 2. in
-      let network = Flow_build.build ?pool family g psi ~instances ~alpha in
+      let network =
+        match !prepared with
+        | Some p -> Flow_build.retarget p ~alpha
+        | None ->
+          let p = Flow_build.prepare ?pool family g psi ~instances ~alpha in
+          prepared := Some p;
+          p.Flow_build.network
+      in
       last_nodes := network.node_count;
       let s_side = Flow_build.solve network in
       if Array.length s_side = 0 then u := alpha

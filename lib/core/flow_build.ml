@@ -10,6 +10,18 @@ type t = {
   node_count : int;
 }
 
+(* The binary searches of Algorithms 1/4/8 change only the
+   alpha-dependent arc class between iterations (Goldberg's parametric
+   observation), so each constructor records those arcs together with
+   their capacity law cap(alpha) = max(base + coef * alpha, 0) and
+   [retarget] re-points the same arena at a new alpha in O(V). *)
+type prepared = {
+  network : t;
+  alpha_arcs : int array;
+  alpha_base : float array;
+  alpha_coef : float array;
+}
+
 let vertex_node v = v + 1
 
 let solve t =
@@ -21,21 +33,59 @@ let solve t =
   done;
   Dsd_util.Vec.Int.to_array out
 
-let eds_network g ~alpha =
+let alpha_cap ~base ~coef alpha = Float.max (base +. (coef *. alpha)) 0.
+
+(* Collects the alpha-dependent arcs a constructor emits. *)
+let alpha_recorder () =
+  let arcs = Dsd_util.Vec.Int.create () in
+  let bases = Dsd_util.Vec.Float.create () in
+  let coefs = Dsd_util.Vec.Float.create () in
+  let record net ~src ~dst ~base ~coef ~alpha =
+    let id = F.add_edge net ~src ~dst ~cap:(alpha_cap ~base ~coef alpha) in
+    Dsd_util.Vec.Int.push arcs id;
+    Dsd_util.Vec.Float.push bases base;
+    Dsd_util.Vec.Float.push coefs coef
+  in
+  let finish network =
+    { network;
+      alpha_arcs = Dsd_util.Vec.Int.to_array arcs;
+      alpha_base = Dsd_util.Vec.Float.to_array bases;
+      alpha_coef = Dsd_util.Vec.Float.to_array coefs }
+  in
+  (record, finish)
+
+let retarget p ~alpha =
+  Dsd_obs.Span.with_ Dsd_obs.Phase.retarget @@ fun () ->
+  Dsd_obs.Counter.incr Dsd_obs.Counter.Flow_retargets;
+  let net = p.network.net in
+  F.reset_flow net;
+  for i = 0 to Array.length p.alpha_arcs - 1 do
+    F.set_cap net p.alpha_arcs.(i)
+      (alpha_cap ~base:p.alpha_base.(i) ~coef:p.alpha_coef.(i) alpha)
+  done;
+  p.network
+
+let network p = p.network
+
+let eds_prepared g ~alpha =
   let n = G.n g in
   let m = float_of_int (G.m g) in
   let size = n + 2 in
   let net = F.create size in
   let source = 0 and sink = size - 1 in
+  let record, finish = alpha_recorder () in
   for v = 0 to n - 1 do
     ignore (F.add_edge net ~src:source ~dst:(vertex_node v) ~cap:m);
-    let cap = m +. (2. *. alpha) -. float_of_int (G.degree g v) in
-    ignore (F.add_edge net ~src:(vertex_node v) ~dst:sink ~cap:(max cap 0.))
+    (* cap = m + 2 alpha - deg(v), clamped at 0. *)
+    record net ~src:(vertex_node v) ~dst:sink
+      ~base:(m -. float_of_int (G.degree g v)) ~coef:2. ~alpha
   done;
   G.iter_edges g ~f:(fun u v ->
       ignore (F.add_edge net ~src:(vertex_node u) ~dst:(vertex_node v) ~cap:1.);
       ignore (F.add_edge net ~src:(vertex_node v) ~dst:(vertex_node u) ~cap:1.));
-  { net; source; sink; n_vertices = n; node_count = size }
+  finish { net; source; sink; n_vertices = n; node_count = size }
+
+let eds_network g ~alpha = (eds_prepared g ~alpha).network
 
 (* Shared degree computation from an instance list.  With a pool the
    per-chunk partial counts fan out across domains; integer addition
@@ -70,7 +120,7 @@ let degrees_of_instances ?pool n instances =
 
 let instance_degrees = degrees_of_instances
 
-let clique_network_pre ?pool ?(pinned = [||]) g ~h ~instances ~alpha =
+let clique_prepared ?pool ?(pinned = [||]) g ~h ~instances ~alpha =
   let n = G.n g in
   let ninst = Array.length instances in
   (* For every h-clique and every member v, an arc v -> (clique minus
@@ -136,12 +186,13 @@ let clique_network_pre ?pool ?(pinned = [||]) g ~h ~instances ~alpha =
   let source = 0 and sink = size - 1 in
   let sub_node id = n + 1 + id in
   let deg = degrees_of_instances ?pool n instances in
+  let record, finish = alpha_recorder () in
   for v = 0 to n - 1 do
     if deg.(v) > 0 then
       ignore (F.add_edge net ~src:source ~dst:(vertex_node v)
                 ~cap:(float_of_int deg.(v)));
-    ignore (F.add_edge net ~src:(vertex_node v) ~dst:sink
-              ~cap:(alpha *. float_of_int h))
+    record net ~src:(vertex_node v) ~dst:sink
+      ~base:0. ~coef:(float_of_int h) ~alpha
   done;
   Array.iter
     (fun q ->
@@ -160,12 +211,16 @@ let clique_network_pre ?pool ?(pinned = [||]) g ~h ~instances ~alpha =
                ~cap:infinity))
         psi)
     sub_ids;
-  { net; source; sink; n_vertices = n; node_count = size }
+  finish { net; source; sink; n_vertices = n; node_count = size }
+
+let clique_network_pre ?pool ?pinned g ~h ~instances ~alpha =
+  (clique_prepared ?pool ?pinned g ~h ~instances ~alpha).network
 
 let clique_network g ~h ~alpha =
   clique_network_pre g ~h ~instances:(Dsd_clique.Kclist.list g ~h) ~alpha
 
-let pds_network_generic ?pool ?(pinned = [||]) ~grouped g (psi : P.t) ~instances ~alpha =
+let pds_prepared ?pool ?(pinned = [||]) ~grouped g (psi : P.t) ~instances
+    ~alpha =
   let n = G.n g in
   let p = psi.size in
   (* construct+ groups instances sharing a vertex set; the ungrouped
@@ -189,12 +244,13 @@ let pds_network_generic ?pool ?(pinned = [||]) ~grouped g (psi : P.t) ~instances
   let source = 0 and sink = size - 1 in
   let group_node id = n + 1 + id in
   let deg = degrees_of_instances ?pool n instances in
+  let record, finish = alpha_recorder () in
   for v = 0 to n - 1 do
     if deg.(v) > 0 then
       ignore (F.add_edge net ~src:source ~dst:(vertex_node v)
                 ~cap:(float_of_int deg.(v)));
-    ignore (F.add_edge net ~src:(vertex_node v) ~dst:sink
-              ~cap:(alpha *. float_of_int p))
+    record net ~src:(vertex_node v) ~dst:sink
+      ~base:0. ~coef:(float_of_int p) ~alpha
   done;
   Array.iter
     (fun q ->
@@ -211,16 +267,16 @@ let pds_network_generic ?pool ?(pinned = [||]) ~grouped g (psi : P.t) ~instances
                ~cap:(cf *. float_of_int (p - 1))))
         members)
     groups;
-  { net; source; sink; n_vertices = n; node_count = size }
+  finish { net; source; sink; n_vertices = n; node_count = size }
 
 let pds_network_pre ?pool ?pinned g psi ~instances ~alpha =
-  pds_network_generic ?pool ?pinned ~grouped:false g psi ~instances ~alpha
+  (pds_prepared ?pool ?pinned ~grouped:false g psi ~instances ~alpha).network
 
 let pds_network g psi ~alpha =
   pds_network_pre g psi ~instances:(Enumerate.instances g psi) ~alpha
 
 let pds_network_grouped_pre ?pool ?pinned g psi ~instances ~alpha =
-  pds_network_generic ?pool ?pinned ~grouped:true g psi ~instances ~alpha
+  (pds_prepared ?pool ?pinned ~grouped:true g psi ~instances ~alpha).network
 
 let pds_network_grouped g psi ~alpha =
   pds_network_grouped_pre g psi ~instances:(Enumerate.instances g psi) ~alpha
@@ -233,17 +289,23 @@ let auto_family (psi : P.t) ~grouped =
   | P.Clique -> Clique_flow
   | P.Star _ | P.Cycle4 | P.Generic -> if grouped then Pds_grouped else Pds
 
-let build ?pool ?pinned family g (psi : P.t) ~instances ~alpha =
+let prepare ?pool ?pinned family g (psi : P.t) ~instances ~alpha =
   Dsd_obs.Span.with_ Dsd_obs.Phase.build_network @@ fun () ->
-  Dsd_obs.Counter.incr Dsd_obs.Counter.Networks_built;
+  Dsd_obs.Counter.incr Dsd_obs.Counter.Flow_networks_built;
   match family with
   | Eds ->
     (match pinned with
-     | None | Some [||] -> eds_network g ~alpha
+     | None | Some [||] -> eds_prepared g ~alpha
      | Some _ ->
        (* The Goldberg construction has no pinning analysis; fall back
           to the generic h = 2 network, which supports it. *)
-       clique_network_pre ?pool ?pinned g ~h:2 ~instances:(Array.map (fun (u, v) -> [| u; v |]) (G.edges g)) ~alpha)
-  | Clique_flow -> clique_network_pre ?pool ?pinned g ~h:psi.size ~instances ~alpha
-  | Pds -> pds_network_pre ?pool ?pinned g psi ~instances ~alpha
-  | Pds_grouped -> pds_network_grouped_pre ?pool ?pinned g psi ~instances ~alpha
+       clique_prepared ?pool ?pinned g ~h:2
+         ~instances:(Array.map (fun (u, v) -> [| u; v |]) (G.edges g))
+         ~alpha)
+  | Clique_flow -> clique_prepared ?pool ?pinned g ~h:psi.size ~instances ~alpha
+  | Pds -> pds_prepared ?pool ?pinned ~grouped:false g psi ~instances ~alpha
+  | Pds_grouped ->
+    pds_prepared ?pool ?pinned ~grouped:true g psi ~instances ~alpha
+
+let build ?pool ?pinned family g psi ~instances ~alpha =
+  (prepare ?pool ?pinned family g psi ~instances ~alpha).network

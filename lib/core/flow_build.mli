@@ -26,6 +26,22 @@ type t = {
   node_count : int;   (** |V_F|, the Figure 9 "size of flow network" *)
 }
 
+(** A constructed network plus the alpha-dependent arc class.
+
+    Goldberg's parametric-flow observation: across the O(log n)
+    binary-search iterations of Algorithms 1/4/8, the network topology
+    — arena, clique/instance node layout, every alpha-independent arc —
+    never changes; only the vertex-to-sink capacities do.  [prepare]
+    builds once and records those arcs with their capacity law
+    [cap(alpha) = max(base + coef * alpha, 0)]; [retarget] then costs
+    O(V) capacity writes instead of a fresh enumeration + build. *)
+type prepared = {
+  network : t;
+  alpha_arcs : int array;    (** arc ids whose capacity depends on alpha *)
+  alpha_base : float array;
+  alpha_coef : float array;
+}
+
 (** [solve t] computes the min cut and returns the data vertices on the
     source side (empty iff S = {s}). *)
 val solve : t -> int array
@@ -85,9 +101,34 @@ val auto_family : Dsd_pattern.Pattern.t -> grouped:bool -> family
     [instances] must be the Psi-instances of [g] (ignored by [Eds]).
     For [Clique_flow] they are the h-cliques.  With a non-empty
     [pinned] set, [Eds] falls back to the generic h = 2 network (the
-    Goldberg construction has no pinning analysis). *)
+    Goldberg construction has no pinning analysis).
+
+    Equivalent to [(prepare ... ~alpha).network]; use {!prepare} when
+    the same topology will be solved at several alphas. *)
 val build :
   ?pool:Dsd_util.Pool.t ->
   ?pinned:int array ->
   family -> Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t ->
   instances:int array array -> alpha:float -> t
+
+(** [prepare family g psi ~instances ~alpha] builds the network for
+    [alpha] exactly like {!build} (same dispatch, pool striping and
+    pinning fallback; counted once as [flow_networks_built]) and
+    returns the retargetable handle.  The handle is tied to [g] and
+    [instances]: when the vertex set changes (CoreExact's Pruning-3
+    core shrink), discard it and prepare a fresh one. *)
+val prepare :
+  ?pool:Dsd_util.Pool.t ->
+  ?pinned:int array ->
+  family -> Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t ->
+  instances:int array array -> alpha:float -> prepared
+
+(** [retarget p ~alpha] zeroes all flow and rewrites the
+    alpha-dependent capacities for the new [alpha] — O(V) writes, no
+    allocation, counted as [flow_retargets] — and returns the (shared,
+    mutated) network ready to solve. *)
+val retarget : prepared -> alpha:float -> t
+
+(** The underlying network of a prepared handle (shared with every
+    [retarget] result). *)
+val network : prepared -> t

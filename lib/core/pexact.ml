@@ -1,1 +1,1 @@
-let run g psi = Exact.run ~family:Flow_build.Pds g psi
+let run ?pool g psi = Exact.run ?pool ~family:Flow_build.Pds g psi

@@ -3,4 +3,6 @@
     whether the pattern happens to be a clique (useful for
     benchmarking the constructions against each other). *)
 
-val run : Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> Exact.result
+val run :
+  ?pool:Dsd_util.Pool.t ->
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> Exact.result

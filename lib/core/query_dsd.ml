@@ -38,10 +38,22 @@ let search ?pool g psi ~query ~candidates ~l0 ~u0 ~witness0 ~iterations =
   let best = ref witness0 in
   let l = ref (max l0 !best.Density.density) and u = ref u0 in
   let gap = Density.stop_gap (G.n gc) in
+  (* Pinned arcs are alpha-independent, so the pinned network retargets
+     like any other: built once, re-capacitated per iteration. *)
+  let prepared = ref None in
   while !u -. !l >= gap do
     incr iterations;
     let alpha = (!l +. !u) /. 2. in
-    let network = Flow_build.build ?pool ~pinned family gc psi ~instances ~alpha in
+    let network =
+      match !prepared with
+      | Some p -> Flow_build.retarget p ~alpha
+      | None ->
+        let p =
+          Flow_build.prepare ?pool ~pinned family gc psi ~instances ~alpha
+        in
+        prepared := Some p;
+        p.Flow_build.network
+    in
     let side = Flow_build.solve network in
     let side_orig = Array.map (fun v -> map.(v)) side in
     let cand = Density.of_vertices g psi side_orig in

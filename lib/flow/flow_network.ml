@@ -41,6 +41,18 @@ let add_edge t ~src ~dst ~cap =
 
 let arc_dst t e = Dsd_util.Vec.Int.get t.dst e
 let arc_cap t e = Dsd_util.Vec.Float.get t.cap e
+let arc_flow t e = Dsd_util.Vec.Float.get t.flow e
+
+let set_cap t e cap =
+  if e < 0 || e >= arc_count t then
+    invalid_arg "Flow_network.set_cap: arc out of range";
+  if not (cap >= 0.) then invalid_arg "Flow_network.set_cap: negative capacity";
+  (* Lowering a capacity below flow already pushed through the arc
+     would leave a negative residual the solvers never repair; callers
+     must [reset_flow] first (the retarget fast path does). *)
+  if cap +. eps < Dsd_util.Vec.Float.get t.flow e then
+    invalid_arg "Flow_network.set_cap: capacity below committed flow";
+  Dsd_util.Vec.Float.set t.cap e cap
 
 let residual t e =
   Dsd_util.Vec.Float.get t.cap e -. Dsd_util.Vec.Float.get t.flow e

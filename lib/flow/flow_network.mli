@@ -32,6 +32,21 @@ val arc_count : t -> int
 val arc_dst : t -> int -> int
 val arc_cap : t -> int -> float
 
+(** Current flow on an arc (negative on residual twins). *)
+val arc_flow : t -> int -> float
+
+(** [set_cap t arc cap] overwrites the capacity of [arc] — the
+    parametric-flow primitive behind {!Flow_build}'s alpha retargeting
+    (only the alpha-dependent arc class changes between binary-search
+    iterations, so the network is built once and re-capacitated in
+    O(V)).
+
+    @raise Invalid_argument if [arc] is out of range, [cap] is negative
+    (or NaN), or [cap] lies more than [eps] below the flow already
+    pushed through the arc — lowering under committed flow is rejected
+    rather than saturated; call {!reset_flow} first. *)
+val set_cap : t -> int -> float -> unit
+
 (** Remaining residual capacity of an arc. *)
 val residual : t -> int -> float
 

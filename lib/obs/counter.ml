@@ -4,11 +4,12 @@ type name =
   | Peeled_vertices
   | Clique_instances
   | Core_iterations
-  | Networks_built
+  | Flow_networks_built
+  | Flow_retargets
 
 let all =
   [ Flow_augmentations; Flow_level_builds; Peeled_vertices; Clique_instances;
-    Core_iterations; Networks_built ]
+    Core_iterations; Flow_networks_built; Flow_retargets ]
 
 let index = function
   | Flow_augmentations -> 0
@@ -16,9 +17,10 @@ let index = function
   | Peeled_vertices -> 2
   | Clique_instances -> 3
   | Core_iterations -> 4
-  | Networks_built -> 5
+  | Flow_networks_built -> 5
+  | Flow_retargets -> 6
 
-let slots = 6
+let slots = 7
 
 let to_string = function
   | Flow_augmentations -> "flow_augmentations"
@@ -26,7 +28,8 @@ let to_string = function
   | Peeled_vertices -> "peeled_vertices"
   | Clique_instances -> "clique_instances"
   | Core_iterations -> "core_iterations"
-  | Networks_built -> "networks_built"
+  | Flow_networks_built -> "flow_networks_built"
+  | Flow_retargets -> "flow_retargets"
 
 (* One atomic per counter: domains striping clique enumeration bump
    these concurrently.  Hot loops either read State.enabled first or

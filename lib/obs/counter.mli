@@ -9,7 +9,8 @@ type name =
   | Peeled_vertices     (** vertices removed by core-decomposition peeling *)
   | Clique_instances    (** h-cliques / pattern instances enumerated *)
   | Core_iterations     (** binary-search min-cut probes / CoreApp rounds *)
-  | Networks_built      (** flow networks constructed *)
+  | Flow_networks_built (** flow-network arenas constructed from scratch *)
+  | Flow_retargets      (** prepared networks re-capacitated for a new alpha *)
 
 val all : name list
 val to_string : name -> string

@@ -3,12 +3,13 @@
    one layer of the stack (see Span's no-recursive-nesting rule):
 
    - algorithm wrappers:  exact / core_exact / peel_app / core_app
-   - inside them:         decompose, enumerate, build_network, flow
+   - inside them:         decompose, enumerate, build_network, retarget, flow
    - under Clique_parallel: clique_stripe (one per domain stripe). *)
 
 let decompose = "decompose"
 let enumerate = "enumerate"
 let build_network = "build_network"
+let retarget = "retarget"
 let flow = "flow"
 let exact = "exact"
 let core_exact = "core_exact"
@@ -18,4 +19,4 @@ let clique_stripe = "clique_stripe"
 
 (* The paper's Figure 8/Table 3 attribution buckets, in display
    order. *)
-let breakdown = [ decompose; enumerate; build_network; flow ]
+let breakdown = [ decompose; enumerate; build_network; retarget; flow ]

@@ -4,6 +4,8 @@ let () =
       ("util", Test_util.suite);
       ("graph", Test_graph.suite);
       ("flow", Test_flow.suite);
+      ("flow-invariants", Test_flow_invariants.suite);
+      ("flow-retarget", Test_retarget.suite);
       ("clique", Test_clique.suite);
       ("pattern", Test_pattern.suite);
       ("core-decomp", Test_core_decomp.suite);

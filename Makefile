@@ -1,6 +1,7 @@
 # Convenience targets; CI should run `make check`.
 
-.PHONY: all build test test-flow fmt check bench-phases bench-retarget clean
+.PHONY: all build test test-flow test-warmstart fmt check bench-phases \
+	bench-retarget bench-warmstart clean
 
 all: build
 
@@ -18,6 +19,11 @@ test-flow:
 	dune exec test/test_main.exe -- test flow-invariants
 	dune exec test/test_main.exe -- test flow-retarget
 
+# The warm-start suite on its own: excess draining, warm vs reset
+# differentials for both solvers, and the warm accounting contracts.
+test-warmstart:
+	dune exec test/test_main.exe -- test flow-warmstart
+
 # Formatting is checked only when ocamlformat is installed — the
 # toolchain image does not bake it in.
 fmt:
@@ -28,11 +34,14 @@ fmt:
 	fi
 
 # fmt runs first so a formatting failure is reported before the long
-# build/test/bench steps.
+# build/test/bench steps.  The warmstart smoke run also feeds the
+# compare gate: warm-started probes must never need more augmenting
+# paths than reset probes.
 check:
 	$(MAKE) fmt
 	dune build @default @runtest
-	dune exec bench/main.exe -- --only parallel,retarget --smoke
+	dune exec bench/main.exe -- --only parallel,retarget,warmstart --smoke
+	dune exec bench/compare.exe -- BENCH_warmstart.json
 
 # Per-phase observability breakdown (Dsd_obs spans/counters).
 bench-phases:
@@ -41,6 +50,12 @@ bench-phases:
 # Flow-network builds vs O(V) re-alphas (writes BENCH_retarget.json).
 bench-retarget:
 	dune exec bench/main.exe -- --only retarget
+
+# Warm vs reset flow retargeting (writes BENCH_warmstart.json), then
+# the regression gate over the fresh numbers.
+bench-warmstart:
+	dune exec bench/main.exe -- --only warmstart
+	dune exec bench/compare.exe -- BENCH_warmstart.json
 
 clean:
 	dune clean

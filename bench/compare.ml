@@ -1,0 +1,100 @@
+(* Regression gate over BENCH_warmstart.json: warm-started probes must
+   never need more augmenting paths than reset probes — if they do, the
+   feasibility repair is leaving the residual network in a worse state
+   than a cold start, which defeats the whole optimisation.  The file
+   is the hand-formatted JSON the bench harness writes (one row object
+   per line), so a line scanner is enough; no JSON library needed.
+
+   Usage: compare [FILE]   (default BENCH_warmstart.json)
+   Exits 0 when every row satisfies warm <= reset, 1 otherwise (or when
+   the file is missing/contains no rows). *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+(* Extract the integer following ["key": ] on [line], if present. *)
+let int_field line key =
+  let needle = Printf.sprintf "\"%s\": " key in
+  let nlen = String.length needle and llen = String.length line in
+  let rec find i =
+    if i + nlen > llen then None
+    else if String.sub line i nlen = needle then Some (i + nlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < llen
+      && (match line.[!stop] with '0' .. '9' | '-' -> true | _ -> false)
+    do
+      incr stop
+    done;
+    if !stop = start then None
+    else int_of_string_opt (String.sub line start (!stop - start))
+
+let str_field line key =
+  let needle = Printf.sprintf "\"%s\": \"" key in
+  let nlen = String.length needle and llen = String.length line in
+  let rec find i =
+    if i + nlen > llen then None
+    else if String.sub line i nlen = needle then Some (i + nlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    (match String.index_from_opt line start '"' with
+     | Some stop -> Some (String.sub line start (stop - start))
+     | None -> None)
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_warmstart.json"
+  in
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "compare: %s not found\n" path;
+    exit 1
+  end;
+  let rows = ref 0 and bad = ref 0 in
+  List.iter
+    (fun line ->
+      match
+        ( int_field line "reset_augmenting_paths",
+          int_field line "warm_augmenting_paths" )
+      with
+      | Some reset, Some warm ->
+        incr rows;
+        let label =
+          Printf.sprintf "%s/%s"
+            (Option.value (str_field line "dataset") ~default:"?")
+            (Option.value (str_field line "algorithm") ~default:"?")
+        in
+        if warm > reset then begin
+          incr bad;
+          Printf.printf "FAIL %-24s warm %d > reset %d\n" label warm reset
+        end
+        else
+          Printf.printf "ok   %-24s warm %6d <= reset %6d  (%.1fx)\n" label
+            warm reset
+            (if warm > 0 then float_of_int reset /. float_of_int warm else 0.)
+      | _ -> ())
+    (read_lines path);
+  if !rows = 0 then begin
+    Printf.eprintf "compare: no warmstart rows in %s\n" path;
+    exit 1
+  end;
+  if !bad > 0 then begin
+    Printf.printf "%d/%d rows regressed\n" !bad !rows;
+    exit 1
+  end;
+  Printf.printf "all %d rows: warm never exceeds reset\n" !rows

@@ -96,6 +96,14 @@ let with_domains domains f =
   in
   Dsd_util.Pool.with_pool domains (fun pool -> f pool)
 
+let no_warm_arg =
+  C.Arg.(value & flag
+         & info [ "no-warm-flow" ]
+             ~doc:"Zero the committed flow at every binary-search \
+                   probe instead of warm-starting the max-flow solver \
+                   from the previous probe's flow.  Exact algorithms \
+                   only; results are identical either way.")
+
 (* ---- observability options ---- *)
 
 let stats_arg =
@@ -246,10 +254,13 @@ let cds =
                ~doc:"Also write the graph as Graphviz DOT with the found \
                      subgraph highlighted.")
   in
-  let run input dataset pattern domains algo dot stats trace =
+  let run input dataset pattern domains algo dot stats trace no_warm =
     let g = load_graph input dataset in
     let psi = pattern_of_string pattern in
-    let api algorithm pool = Dsd_core.Api.densest_subgraph ~pool ~psi ~algorithm g in
+    let warm = not no_warm in
+    let api algorithm pool =
+      Dsd_core.Api.densest_subgraph ~pool ~warm ~psi ~algorithm g
+    in
     let name, solve =
       match String.lowercase_ascii algo with
       | "exact" -> ("Exact", fun pool -> api Dsd_core.Api.Exact_flow pool)
@@ -283,11 +294,11 @@ let cds =
         Printf.printf "wrote %s\n" path)
       dot
   in
-  let run a b c d e f g h = or_die (fun () -> run a b c d e f g h) in
+  let run a b c d e f g h i = or_die (fun () -> run a b c d e f g h i) in
   C.Cmd.v
     (C.Cmd.info "cds" ~doc:"Find the (approximately) densest subgraph.")
     C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ domains_arg
-            $ algo $ dot $ stats_arg $ trace_arg)
+            $ algo $ dot $ stats_arg $ trace_arg $ no_warm_arg)
 
 (* ---- query (Section 6.3 variant) ---- *)
 
@@ -296,13 +307,15 @@ let query =
     C.Arg.(non_empty & pos_all int []
            & info [] ~docv:"VERTEX" ~doc:"Query vertices the subgraph must contain.")
   in
-  let run input dataset pattern domains vertices stats trace =
+  let run input dataset pattern domains vertices stats trace no_warm =
     let g = load_graph input dataset in
     let psi = pattern_of_string pattern in
+    let warm = not no_warm in
     let r =
       with_obs ~stats ~trace (fun () ->
           with_domains domains (fun pool ->
-              Dsd_core.Query_dsd.run ~pool g psi ~query:(Array.of_list vertices)))
+              Dsd_core.Query_dsd.run ~pool ~warm g psi
+                ~query:(Array.of_list vertices)))
     in
     let sg = r.Dsd_core.Query_dsd.subgraph in
     Printf.printf "pattern    %s\n" psi.P.name;
@@ -313,12 +326,12 @@ let query =
     Array.iter (Printf.printf "%d ") sg.Dsd_core.Density.vertices;
     print_newline ()
   in
-  let run a b c d e f g = or_die (fun () -> run a b c d e f g) in
+  let run a b c d e f g h = or_die (fun () -> run a b c d e f g h) in
   C.Cmd.v
     (C.Cmd.info "query"
        ~doc:"Densest subgraph containing given query vertices (Section 6.3).")
     C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ domains_arg
-            $ vertices $ stats_arg $ trace_arg)
+            $ vertices $ stats_arg $ trace_arg $ no_warm_arg)
 
 (* ---- truss ---- *)
 

@@ -11,17 +11,7 @@ let mu g ~h = Kclist.count g ~h
 let triangles_per_edge g =
   let out = ref [] in
   G.iter_edges g ~f:(fun u v ->
-      let nu = G.neighbors g u and nv = G.neighbors g v in
-      let i = ref 0 and j = ref 0 and c = ref 0 in
-      while !i < Array.length nu && !j < Array.length nv do
-        let x = nu.(!i) and y = nv.(!j) in
-        if x = y then begin
-          incr c;
-          incr i;
-          incr j
-        end
-        else if x < y then incr i
-        else incr j
-      done;
+      let c = ref 0 in
+      G.iter_common_neighbors g u v ~f:(fun _ -> incr c);
       out := ((u, v), !c) :: !out);
   Array.of_list (List.rev !out)

@@ -7,10 +7,20 @@ let build_dag g =
   let n = G.n g in
   let out = Array.make n [||] in
   for v = 0 to n - 1 do
-    let buf = Dsd_util.Vec.Int.create () in
+    (* Count first so each row is allocated exactly once, instead of
+       growing a vector and copying it out. *)
+    let cnt =
+      G.fold_neighbors g v ~init:0 ~f:(fun acc w ->
+          if deg.rank.(w) > deg.rank.(v) then acc + 1 else acc)
+    in
+    let row = Array.make cnt 0 in
+    let i = ref 0 in
     G.iter_neighbors g v ~f:(fun w ->
-        if deg.rank.(w) > deg.rank.(v) then Dsd_util.Vec.Int.push buf w);
-    out.(v) <- Dsd_util.Vec.Int.to_array buf
+        if deg.rank.(w) > deg.rank.(v) then begin
+          row.(!i) <- w;
+          incr i
+        end);
+    out.(v) <- row
   done;
   out
 

@@ -20,8 +20,10 @@ let roots lo hi = Array.init (hi - lo) (fun i -> lo + i)
 
 (* Chunks coarse enough that per-chunk setup (roots array, one atomic
    counter flush inside Kclist) is noise, fine enough that work
-   stealing evens out skewed recursion trees. *)
-let chunk_for pool n = max 16 (n / (8 * Pool.size pool))
+   stealing evens out skewed recursion trees.  [parallel_width] keeps
+   inline-fallback jobs from being split as if the workers were
+   coming. *)
+let chunk_for pool n = max 16 (n / (8 * Pool.parallel_width pool ~n))
 
 let count_in pool g ~h =
   let dag = Kclist.prepare g in
@@ -38,9 +40,9 @@ let degrees_in pool g ~h =
   if n = 0 then [||]
   else begin
     (* Coarser chunks here: every chunk allocates an n-slot
-       accumulator, so bound the count by the pool size rather than
-       the stealing granularity. *)
-    let chunk = max 1024 (n / (2 * Pool.size pool)) in
+       accumulator, so bound the count by the effective pool width
+       rather than the stealing granularity. *)
+    let chunk = max 1024 (n / (2 * Pool.parallel_width pool ~n)) in
     let parts =
       Pool.map_chunks pool ~chunk ~wrap:stripe_wrap ~n (fun lo hi ->
           let deg = Array.make n 0 in

@@ -21,7 +21,8 @@ type result = {
 
 let safe_ceil = Dsd_util.Float_guard.safe_ceil
 
-let run ?pool ?(prunings = all_prunings) ?(grouped = false) ?family g psi =
+let run ?pool ?(warm = true) ?(prunings = all_prunings) ?(grouped = false)
+    ?family g psi =
   Dsd_obs.Span.with_ Dsd_obs.Phase.core_exact @@ fun () ->
   let t0 = Dsd_util.Timer.now_s () in
   let p = psi.Dsd_pattern.Pattern.size in
@@ -108,7 +109,7 @@ let run ?pool ?(prunings = all_prunings) ?(grouped = false) ?family g psi =
       Dsd_util.Timer.Span.start flow_span;
       let network =
         match !prepared with
-        | Some p -> Flow_build.retarget p ~alpha
+        | Some p -> Flow_build.retarget ~warm p ~alpha
         | None ->
           let p = Flow_build.prepare ?pool family gc psi ~instances ~alpha in
           prepared := Some p;

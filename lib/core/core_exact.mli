@@ -45,9 +45,12 @@ type result = {
 
 (** [run g psi] returns the exact densest subgraph.  [family] overrides
     the network construction ([~grouped] only affects the automatic
-    choice for non-clique patterns). *)
+    choice for non-clique patterns).  [warm] (default [true]) carries
+    flow across probes within a component's prepared network; a
+    Pruning-3 shrink still rebuilds from scratch. *)
 val run :
   ?pool:Dsd_util.Pool.t ->
+  ?warm:bool ->
   ?prunings:prunings ->
   ?grouped:bool ->
   ?family:Flow_build.family ->

@@ -12,7 +12,7 @@ type result = {
   stats : stats;
 }
 
-let run ?pool ?family g psi =
+let run ?pool ?(warm = true) ?family g psi =
   Dsd_obs.Span.with_ Dsd_obs.Phase.exact @@ fun () ->
   let t0 = Dsd_util.Timer.now_s () in
   let n = G.n g in
@@ -63,7 +63,7 @@ let run ?pool ?family g psi =
       let alpha = (!l +. !u) /. 2. in
       let network =
         match !prepared with
-        | Some p -> Flow_build.retarget p ~alpha
+        | Some p -> Flow_build.retarget ~warm p ~alpha
         | None ->
           let p = Flow_build.prepare ?pool family g psi ~instances ~alpha in
           prepared := Some p;

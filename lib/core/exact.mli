@@ -20,8 +20,12 @@ type result = {
 
 (** [run g psi] returns the exact densest subgraph w.r.t. Psi-density.
     [family] overrides the flow-network construction (defaults to the
-    paper's choice for the pattern kind). *)
+    paper's choice for the pattern kind).  [warm] (default [true])
+    carries the committed flow across binary-search probes
+    ({!Flow_build.retarget}); [~warm:false] restores the
+    reset-per-probe behaviour. *)
 val run :
   ?pool:Dsd_util.Pool.t ->
+  ?warm:bool ->
   ?family:Flow_build.family ->
   Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> result

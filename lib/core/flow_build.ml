@@ -26,7 +26,10 @@ let vertex_node v = v + 1
 
 let solve t =
   Dsd_obs.Span.with_ Dsd_obs.Phase.flow @@ fun () ->
+  let aug0 = Dsd_obs.Counter.get Dsd_obs.Counter.Flow_augmentations in
   let _flow, side = Dsd_flow.Min_cut.solve t.net ~s:t.source ~t:t.sink in
+  Dsd_obs.Probe.record
+    (Dsd_obs.Counter.get Dsd_obs.Counter.Flow_augmentations - aug0);
   let out = Dsd_util.Vec.Int.create () in
   for v = 0 to t.n_vertices - 1 do
     if side.(vertex_node v) then Dsd_util.Vec.Int.push out v
@@ -54,15 +57,31 @@ let alpha_recorder () =
   in
   (record, finish)
 
-let retarget p ~alpha =
+let retarget ?(warm = true) p ~alpha =
   Dsd_obs.Span.with_ Dsd_obs.Phase.retarget @@ fun () ->
   Dsd_obs.Counter.incr Dsd_obs.Counter.Flow_retargets;
   let net = p.network.net in
-  F.reset_flow net;
-  for i = 0 to Array.length p.alpha_arcs - 1 do
-    F.set_cap net p.alpha_arcs.(i)
-      (alpha_cap ~base:p.alpha_base.(i) ~coef:p.alpha_coef.(i) alpha)
-  done;
+  if warm then begin
+    (* Keep the previous probe's flow: rewrite every alpha capacity
+       first (alpha may move either direction), then repair the arcs
+       whose new capacity fell below their committed flow by draining
+       the excess back to the source.  The solver then only has to
+       augment the difference. *)
+    Dsd_obs.Counter.incr Dsd_obs.Counter.Flow_warm_starts;
+    for i = 0 to Array.length p.alpha_arcs - 1 do
+      F.set_cap_carry net p.alpha_arcs.(i)
+        (alpha_cap ~base:p.alpha_base.(i) ~coef:p.alpha_coef.(i) alpha)
+    done;
+    let s = p.network.source in
+    Array.iter (fun e -> ignore (F.restore_arc net ~s e)) p.alpha_arcs
+  end
+  else begin
+    F.reset_flow net;
+    for i = 0 to Array.length p.alpha_arcs - 1 do
+      F.set_cap net p.alpha_arcs.(i)
+        (alpha_cap ~base:p.alpha_base.(i) ~coef:p.alpha_coef.(i) alpha)
+    done
+  end;
   p.network
 
 let network p = p.network
@@ -94,7 +113,7 @@ let degrees_of_instances ?pool n instances =
   match pool with
   | Some pool when Array.length instances > 0 && n > 0 ->
     let len = Array.length instances in
-    let chunk = max 1024 (len / (2 * Dsd_util.Pool.size pool)) in
+    let chunk = max 1024 (len / (2 * Dsd_util.Pool.parallel_width pool ~n:len)) in
     let parts =
       Dsd_util.Pool.map_chunks pool ~chunk ~n:len (fun lo hi ->
           let deg = Array.make n 0 in
@@ -154,7 +173,9 @@ let clique_prepared ?pool ?(pinned = [||]) g ~h ~instances ~alpha =
       match pool with
       | None -> pairs_chunk 0 ninst
       | Some pool ->
-        let chunk = max 512 (ninst / (8 * Dsd_util.Pool.size pool)) in
+        let chunk =
+          max 512 (ninst / (8 * Dsd_util.Pool.parallel_width pool ~n:ninst))
+        in
         Array.concat
           (Array.to_list
              (Dsd_util.Pool.map_chunks pool ~chunk ~n:ninst pairs_chunk))

@@ -123,11 +123,22 @@ val prepare :
   family -> Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t ->
   instances:int array array -> alpha:float -> prepared
 
-(** [retarget p ~alpha] zeroes all flow and rewrites the
-    alpha-dependent capacities for the new [alpha] — O(V) writes, no
-    allocation, counted as [flow_retargets] — and returns the (shared,
-    mutated) network ready to solve. *)
-val retarget : prepared -> alpha:float -> t
+(** [retarget p ~alpha] rewrites the alpha-dependent capacities for the
+    new [alpha] and returns the (shared, mutated) network ready to
+    solve.  Counted as [flow_retargets] either way.
+
+    With [~warm:true] (the default) the committed flow of the previous
+    probe is kept: capacities are written with
+    {!Dsd_flow.Flow_network.set_cap_carry} and any arc whose new
+    capacity fell below its flow is repaired with
+    {!Dsd_flow.Flow_network.restore_arc} (excess drained back to the
+    source), so the next solve only augments the difference.  Alpha may
+    move in either direction.  Warm retargets are additionally counted
+    as [flow_warm_starts].
+
+    With [~warm:false] all flow is zeroed first — the PR 3 behaviour —
+    and the next solve starts from scratch. *)
+val retarget : ?warm:bool -> prepared -> alpha:float -> t
 
 (** The underlying network of a prepared handle (shared with every
     [retarget] result). *)

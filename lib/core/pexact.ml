@@ -1,1 +1,1 @@
-let run ?pool g psi = Exact.run ?pool ~family:Flow_build.Pds g psi
+let run ?pool ?warm g psi = Exact.run ?pool ?warm ~family:Flow_build.Pds g psi

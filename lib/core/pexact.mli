@@ -5,4 +5,5 @@
 
 val run :
   ?pool:Dsd_util.Pool.t ->
+  ?warm:bool ->
   Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> Exact.result

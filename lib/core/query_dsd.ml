@@ -25,7 +25,7 @@ let family_for (psi : P.t) =
    so the decision "exists S containing Q with density > alpha" is read
    off the exact density of the returned side (which is itself the
    witness). *)
-let search ?pool g psi ~query ~candidates ~l0 ~u0 ~witness0 ~iterations =
+let search ?pool ?warm g psi ~query ~candidates ~l0 ~u0 ~witness0 ~iterations =
   let family = family_for psi in
   let gc, map = G.induced g candidates in
   let back = Array.make (G.n g) (-1) in
@@ -46,7 +46,7 @@ let search ?pool g psi ~query ~candidates ~l0 ~u0 ~witness0 ~iterations =
     let alpha = (!l +. !u) /. 2. in
     let network =
       match !prepared with
-      | Some p -> Flow_build.retarget p ~alpha
+      | Some p -> Flow_build.retarget ?warm p ~alpha
       | None ->
         let p =
           Flow_build.prepare ?pool ~pinned family gc psi ~instances ~alpha
@@ -65,7 +65,7 @@ let search ?pool g psi ~query ~candidates ~l0 ~u0 ~witness0 ~iterations =
   done;
   !best
 
-let run_naive ?pool g psi ~query =
+let run_naive ?pool ?warm g psi ~query =
   validate g query;
   let t0 = Dsd_util.Timer.now_s () in
   let iterations = ref 0 in
@@ -75,12 +75,12 @@ let run_naive ?pool g psi ~query =
   let best =
     if u0 = 0. then Density.of_vertices g psi query
     else
-      search ?pool g psi ~query ~candidates:everything ~l0:0. ~u0 ~witness0
-        ~iterations
+      search ?pool ?warm g psi ~query ~candidates:everything ~l0:0. ~u0
+        ~witness0 ~iterations
   in
   { subgraph = best; iterations = !iterations; elapsed_s = Dsd_util.Timer.now_s () -. t0 }
 
-let run ?pool g psi ~query =
+let run ?pool ?warm g psi ~query =
   validate g query;
   let t0 = Dsd_util.Timer.now_s () in
   let iterations = ref 0 in
@@ -111,6 +111,6 @@ let run ?pool g psi ~query =
   in
   let best =
     if decomp.Clique_core.mu_total = 0 then Density.of_vertices g psi query
-    else search ?pool g psi ~query ~candidates ~l0 ~u0 ~witness0 ~iterations
+    else search ?pool ?warm g psi ~query ~candidates ~l0 ~u0 ~witness0 ~iterations
   in
   { subgraph = best; iterations = !iterations; elapsed_s = Dsd_util.Timer.now_s () -. t0 }

@@ -19,10 +19,13 @@ type result = {
   elapsed_s : float;
 }
 
-(** [run g psi ~query] solves the variant exactly.
+(** [run g psi ~query] solves the variant exactly.  [warm] (default
+    [true]) carries flow across binary-search probes; the pinned arcs
+    are alpha-independent so pinning composes with warm starts.
     @raise Invalid_argument if [query] is empty or out of range. *)
 val run :
   ?pool:Dsd_util.Pool.t ->
+  ?warm:bool ->
   Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> query:int array -> result
 
 (** [run_naive g psi ~query] is the same binary search without the core
@@ -30,4 +33,5 @@ val run :
     bench). *)
 val run_naive :
   ?pool:Dsd_util.Pool.t ->
+  ?warm:bool ->
   Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> query:int array -> result

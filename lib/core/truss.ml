@@ -26,21 +26,9 @@ let decompose g =
   let alive = Bytes.make (max 1 m) '\001' in
   let edge_id u v = Hashtbl.find_opt edge_ids (encode n u v) in
   let support = Array.make (max 1 m) 0 in
-  (* Initial supports: common-neighbour counts via sorted merges. *)
-  let common u v f =
-    let nu = G.neighbors g u and nv = G.neighbors g v in
-    let i = ref 0 and j = ref 0 in
-    while !i < Array.length nu && !j < Array.length nv do
-      let x = nu.(!i) and y = nv.(!j) in
-      if x = y then begin
-        f x;
-        incr i;
-        incr j
-      end
-      else if x < y then incr i
-      else incr j
-    done
-  in
+  (* Initial supports: common-neighbour counts, merged on the CSR rows
+     without materialising the neighbour arrays. *)
+  let common u v f = G.iter_common_neighbors g u v ~f in
   for e = 0 to m - 1 do
     let c = ref 0 in
     common edge_u.(e) edge_v.(e) (fun _ -> incr c);

@@ -7,5 +7,10 @@
     compute exact min-cuts, and DSD only consumes the cut. *)
 
 (** [max_flow net ~s ~t] saturates the network in place and returns the
-    max-flow value. *)
+    flow pushed {e by this call}.  The solver works purely on residual
+    capacities, so it may be invoked on any feasible intermediate state
+    — in particular on a warm-started network that still carries the
+    flow of a previous probe (after {!Flow_network.restore_arc} repaired
+    any lowered arcs) — and will augment it to a maximum flow.  Use
+    {!Flow_network.flow_value} for the total committed value. *)
 val max_flow : Flow_network.t -> s:int -> t:int -> float

@@ -4,4 +4,7 @@
     oracle so property tests can cross-check the two solvers on random
     networks. *)
 
+(** Returns the flow pushed {e by this call}; like {!Dinic.max_flow}
+    it resumes correctly from any feasible residual state, so it can
+    warm-start from a previous probe's flow. *)
 val max_flow : Flow_network.t -> s:int -> t:int -> float

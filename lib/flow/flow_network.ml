@@ -5,6 +5,12 @@ type t = {
   flow : Dsd_util.Vec.Float.t;     (* arc -> current flow (may be < 0 on twins) *)
   out : Dsd_util.Vec.Int.t array;  (* node -> arc ids *)
   mutable edges : int;
+  (* Scratch for [restore_arc]'s path searches: a node is visited in
+     the current search iff [drain_mark.(u) = drain_epoch], so starting
+     a new search is one increment instead of an O(n) clear (or worse,
+     an O(n) allocation) per drained path. *)
+  mutable drain_mark : int array;
+  mutable drain_epoch : int;
 }
 
 let eps = Dsd_util.Float_guard.eps
@@ -17,6 +23,8 @@ let create n =
     flow = Dsd_util.Vec.Float.create ~capacity:64 ();
     out = Array.init (max 1 n) (fun _ -> Dsd_util.Vec.Int.create ~capacity:2 ());
     edges = 0;
+    drain_mark = [||];
+    drain_epoch = 0;
   }
 
 let node_count t = t.n
@@ -54,6 +62,16 @@ let set_cap t e cap =
     invalid_arg "Flow_network.set_cap: capacity below committed flow";
   Dsd_util.Vec.Float.set t.cap e cap
 
+let set_cap_carry t e cap =
+  if e < 0 || e >= arc_count t then
+    invalid_arg "Flow_network.set_cap_carry: arc out of range";
+  if not (cap >= 0.) then
+    invalid_arg "Flow_network.set_cap_carry: negative capacity";
+  (* Unlike [set_cap], committed flow is kept even when it now exceeds
+     the capacity; callers must follow up with [restore_arc] before
+     handing the network back to a solver. *)
+  Dsd_util.Vec.Float.set t.cap e cap
+
 let residual t e =
   Dsd_util.Vec.Float.get t.cap e -. Dsd_util.Vec.Float.get t.flow e
 
@@ -70,3 +88,78 @@ let reset_flow t =
   for e = 0 to arc_count t - 1 do
     Dsd_util.Vec.Float.set t.flow e 0.
   done
+
+let flow_value t ~s =
+  (* Net outflow at [s]: twins of arcs into [s] carry the negated
+     incoming flow, so summing over every arc id in [out.(s)] yields
+     outflow - inflow. *)
+  let total = ref 0. in
+  iter_arcs_from t s ~f:(fun e -> total := !total +. arc_flow t e);
+  !total
+
+(* Walk backwards from [v] to [s] along flow-carrying arcs.  From node
+   [u] we traverse arc ids [a] with [flow a < -eps]: those are the
+   residual twins of arcs currently pushing flow *into* [u], and
+   [arc_dst a] is the upstream node.  The epoch mark persists across
+   backtracking inside one search — a dead end stays dead because no
+   flow changes mid-search. *)
+let rec drain_path t ~s u path =
+  if u = s then Some path
+  else begin
+    t.drain_mark.(u) <- t.drain_epoch;
+    let arcs = t.out.(u) in
+    let len = Dsd_util.Vec.Int.length arcs in
+    let result = ref None in
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i < len do
+      let a = Dsd_util.Vec.Int.get arcs !i in
+      incr i;
+      if arc_flow t a < -.eps then begin
+        let w = arc_dst t a in
+        if t.drain_mark.(w) <> t.drain_epoch then
+          match drain_path t ~s w (a :: path) with
+          | Some _ as r ->
+            result := r;
+            found := true
+          | None -> ()
+      end
+    done;
+    !result
+  end
+
+let restore_arc t ~s e =
+  if e < 0 || e >= arc_count t then
+    invalid_arg "Flow_network.restore_arc: arc out of range";
+  let excess = arc_flow t e -. arc_cap t e in
+  if excess <= eps then 0
+  else begin
+    (* Pull the arc back to capacity; its tail is now a surplus node. *)
+    push t e (-.excess);
+    let v = arc_dst t (e lxor 1) in
+    if Array.length t.drain_mark < t.n then begin
+      t.drain_mark <- Array.make t.n 0;
+      t.drain_epoch <- 0
+    end;
+    let remaining = ref excess in
+    let paths = ref 0 in
+    while !remaining > eps do
+      t.drain_epoch <- t.drain_epoch + 1;
+      match drain_path t ~s v [] with
+      | None ->
+        invalid_arg "Flow_network.restore_arc: no flow-carrying path to source"
+      | Some path ->
+        (* Pushing along residual twins cancels the committed flow on
+           the corresponding upstream arcs. *)
+        let bottleneck =
+          List.fold_left
+            (fun acc a -> Float.min acc (-.arc_flow t a))
+            !remaining path
+        in
+        List.iter (fun a -> push t a bottleneck) path;
+        remaining := !remaining -. bottleneck;
+        incr paths
+    done;
+    Dsd_obs.Counter.add Dsd_obs.Counter.Flow_excess_drained !paths;
+    !paths
+  end

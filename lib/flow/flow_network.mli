@@ -47,6 +47,30 @@ val arc_flow : t -> int -> float
     rather than saturated; call {!reset_flow} first. *)
 val set_cap : t -> int -> float -> unit
 
+(** [set_cap_carry t arc cap] overwrites the capacity of [arc] while
+    keeping whatever flow is already committed — the warm-start variant
+    of {!set_cap}.  The network may transiently violate [flow ≤ cap] on
+    [arc]; callers must call {!restore_arc} on every arc they lowered
+    before running a solver again.
+
+    @raise Invalid_argument if [arc] is out of range or [cap] is
+    negative (or NaN). *)
+val set_cap_carry : t -> int -> float -> unit
+
+(** [restore_arc t ~s arc] repairs the feasibility of [arc] after a
+    {!set_cap_carry} lowered its capacity below the committed flow: the
+    arc flow is reduced to the new capacity and the resulting excess at
+    the arc's tail is drained back to the source [s] along
+    flow-carrying arcs (flow decomposition).  Conservation holds at
+    every other node throughout.  Returns the number of drain paths
+    used (0 when the arc was already feasible) and adds it to the
+    [Flow_excess_drained] counter.
+
+    @raise Invalid_argument if [arc] is out of range, or no
+    flow-carrying path back to [s] exists (impossible for the excess
+    produced by lowering a sink arc of a feasible flow). *)
+val restore_arc : t -> s:int -> int -> int
+
 (** Remaining residual capacity of an arc. *)
 val residual : t -> int -> float
 
@@ -62,6 +86,11 @@ val arcs_from : t -> int -> int array
 
 (** [reset_flow t] zeroes all flow, restoring initial capacities. *)
 val reset_flow : t -> unit
+
+(** [flow_value t ~s] is the net outflow at [s] — the total value of
+    the flow currently committed to the network, independent of how
+    many solver calls accumulated it. *)
+val flow_value : t -> s:int -> float
 
 (** Tolerance under which a residual capacity counts as exhausted. *)
 val eps : float

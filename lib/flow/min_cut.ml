@@ -18,8 +18,11 @@ let source_side net ~s =
   side
 
 let solve net ~s ~t =
-  let value = Dinic.max_flow net ~s ~t in
-  (value, source_side net ~s)
+  (* [Dinic.max_flow] returns only the flow pushed by this call; under
+     a warm start the network already carries flow from earlier probes,
+     so report the total committed value instead of the delta. *)
+  let (_ : float) = Dinic.max_flow net ~s ~t in
+  (F.flow_value net ~s, source_side net ~s)
 
 let cut_capacity net side =
   let total = ref 0. in

@@ -8,7 +8,10 @@
 
 (** [solve net ~s ~t] runs {!Dinic.max_flow} and returns
     [(flow_value, source_side)] where [source_side.(v)] iff node [v]
-    is on the source side of a minimum cut. *)
+    is on the source side of a minimum cut.  [flow_value] is the total
+    flow committed to the network ({!Flow_network.flow_value}), not the
+    delta pushed by this call — the two coincide on a freshly built or
+    [reset_flow]ed network but differ under warm-started retargeting. *)
 val solve : Flow_network.t -> s:int -> t:int -> float * bool array
 
 (** [source_side net ~s] recomputes reachability on an

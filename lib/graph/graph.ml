@@ -24,6 +24,27 @@ let iter_neighbors g v ~f =
     f g.col.(i)
   done
 
+let fold_neighbors g v ~init ~f =
+  let acc = ref init in
+  for i = g.row.(v) to g.row.(v + 1) - 1 do
+    acc := f !acc g.col.(i)
+  done;
+  !acc
+
+let iter_common_neighbors g u v ~f =
+  let i = ref g.row.(u) and j = ref g.row.(v) in
+  let iend = g.row.(u + 1) and jend = g.row.(v + 1) in
+  while !i < iend && !j < jend do
+    let x = g.col.(!i) and y = g.col.(!j) in
+    if x = y then begin
+      f x;
+      incr i;
+      incr j
+    end
+    else if x < y then incr i
+    else incr j
+  done
+
 let mem_edge g u v =
   let lo = ref g.row.(u) and hi = ref (g.row.(u + 1) - 1) in
   let found = ref false in

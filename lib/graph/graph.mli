@@ -38,13 +38,25 @@ val degree : t -> int -> int
 (** [max_degree g] is the paper's [d]. *)
 val max_degree : t -> int
 
-(** [neighbors g v] is the sorted neighbour array of [v].  The returned
-    array is owned by the graph: callers must not mutate it. *)
+(** [neighbors g v] is the sorted neighbour array of [v], copied with
+    [Array.sub] on every call.  Convenient for tests; hot loops should
+    use {!iter_neighbors}, {!fold_neighbors} or
+    {!iter_common_neighbors}, which never allocate. *)
 val neighbors : t -> int -> int array
 
 (** [iter_neighbors g v ~f] applies [f] to each neighbour of [v] in
-    increasing order. *)
+    increasing order.  Allocation-free. *)
 val iter_neighbors : t -> int -> f:(int -> unit) -> unit
+
+(** [fold_neighbors g v ~init ~f] folds [f] over the neighbours of [v]
+    in increasing order.  Allocation-free (for unboxed accumulators). *)
+val fold_neighbors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+(** [iter_common_neighbors g u v ~f] applies [f] to each common
+    neighbour of [u] and [v] in increasing order — a linear merge of
+    the two sorted rows, directly on the CSR arrays, with no per-call
+    allocation (unlike pairing {!neighbors} with a manual merge). *)
+val iter_common_neighbors : t -> int -> int -> f:(int -> unit) -> unit
 
 (** [mem_edge g u v] tests adjacency in O(log min-degree). *)
 val mem_edge : t -> int -> int -> bool

@@ -10,7 +10,8 @@ let disable () =
 
 let reset () =
   Counter.reset ();
-  Span.reset ()
+  Span.reset ();
+  Probe.reset ()
 
 let with_recording ?sink f =
   reset ();

@@ -6,10 +6,13 @@ type name =
   | Core_iterations
   | Flow_networks_built
   | Flow_retargets
+  | Flow_warm_starts
+  | Flow_excess_drained
 
 let all =
   [ Flow_augmentations; Flow_level_builds; Peeled_vertices; Clique_instances;
-    Core_iterations; Flow_networks_built; Flow_retargets ]
+    Core_iterations; Flow_networks_built; Flow_retargets; Flow_warm_starts;
+    Flow_excess_drained ]
 
 let index = function
   | Flow_augmentations -> 0
@@ -19,8 +22,10 @@ let index = function
   | Core_iterations -> 4
   | Flow_networks_built -> 5
   | Flow_retargets -> 6
+  | Flow_warm_starts -> 7
+  | Flow_excess_drained -> 8
 
-let slots = 7
+let slots = 9
 
 let to_string = function
   | Flow_augmentations -> "flow_augmentations"
@@ -30,6 +35,8 @@ let to_string = function
   | Core_iterations -> "core_iterations"
   | Flow_networks_built -> "flow_networks_built"
   | Flow_retargets -> "flow_retargets"
+  | Flow_warm_starts -> "flow_warm_starts"
+  | Flow_excess_drained -> "flow_excess_drained"
 
 (* One atomic per counter: domains striping clique enumeration bump
    these concurrently.  Hot loops either read State.enabled first or

@@ -11,6 +11,8 @@ type name =
   | Core_iterations     (** binary-search min-cut probes / CoreApp rounds *)
   | Flow_networks_built (** flow-network arenas constructed from scratch *)
   | Flow_retargets      (** prepared networks re-capacitated for a new alpha *)
+  | Flow_warm_starts    (** retargets that kept the committed flow (no reset) *)
+  | Flow_excess_drained (** flow-decomposition paths cancelled back to the source *)
 
 val all : name list
 val to_string : name -> string

@@ -23,6 +23,15 @@ let to_string () =
   Buffer.add_string buf "counters:\n";
   if counters = [] then Buffer.add_string buf "  (none recorded)\n"
   else List.iter (fun l -> Buffer.add_string buf (l ^ "\n")) counters;
+  (match Probe.deltas () with
+  | [] -> ()
+  | ds ->
+    Buffer.add_string buf "per-probe augmenting paths:\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  %-20s %12d\n" "probes" (List.length ds));
+    Buffer.add_string buf
+      (Printf.sprintf "  deltas               [%s]\n"
+         (String.concat " " (List.map string_of_int ds))));
   Buffer.contents buf
 
 (* One-line `k=v` fields: the decompose/enumerate/build/flow breakdown
@@ -40,4 +49,8 @@ let kv_fields () =
         if v = 0 then None else Some (Printf.sprintf "%s=%d" name v))
       (Counter.snapshot ())
   in
-  String.concat " " (phase_fields @ counter_fields)
+  let probe_fields =
+    if Probe.count () = 0 then []
+    else [ Printf.sprintf "augmenting_paths=%s" (Probe.to_field ()) ]
+  in
+  String.concat " " (phase_fields @ counter_fields @ probe_fields)

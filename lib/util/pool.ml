@@ -12,6 +12,11 @@ type job = {
 
 type t = {
   size : int;
+  sequential_below : int;
+  (* Spawned lazily by the first job that actually engages the pool:
+     idle domains are not free (they still take part in GC barriers),
+     so a pool whose every job falls under [sequential_below] must be
+     indistinguishable from running without one. *)
   mutable workers : unit Domain.t array;
   m : Mutex.t;
   wake : Condition.t;
@@ -71,27 +76,44 @@ let worker t =
     end
   done
 
-let create size =
+(* Below this many work items, waking the workers costs more than the
+   loop itself: every row of the pre-threshold BENCH_parallel.json had
+   speedup < 1 at the 20k-vertex scale the bench drives, so the default
+   is deliberately high — a pool only helps once the per-item work
+   dwarfs the condition-variable round trip. *)
+let default_sequential_below = 65536
+
+let create ?(sequential_below = default_sequential_below) size =
   if size < 1 then invalid_arg "Pool.create: size must be >= 1";
-  let t =
-    {
-      size;
-      workers = [||];
-      m = Mutex.create ();
-      wake = Condition.create ();
-      drained = Condition.create ();
-      job = None;
-      generation = 0;
-      active = 0;
-      stop = false;
-      alive = true;
-      busy = Atomic.make false;
-    }
-  in
-  t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
-  t
+  if sequential_below < 0 then
+    invalid_arg "Pool.create: sequential_below must be >= 0";
+  {
+    size;
+    sequential_below;
+    workers = [||];
+    m = Mutex.create ();
+    wake = Condition.create ();
+    drained = Condition.create ();
+    job = None;
+    generation = 0;
+    active = 0;
+    stop = false;
+    alive = true;
+    busy = Atomic.make false;
+  }
+
+(* Only ever called from [run] while [busy] is held, so at most one
+   caller can race to spawn. *)
+let ensure_workers t =
+  if Array.length t.workers = 0 && t.size > 1 then
+    t.workers <-
+      Array.init (t.size - 1) (fun _ -> Domain.spawn (fun () -> worker t))
 
 let size t = t.size
+let sequential_below t = t.sequential_below
+
+let parallel_width t ~n =
+  if t.size = 1 || n < t.sequential_below then 1 else t.size
 
 let shutdown t =
   if not t.alive then invalid_arg "Pool.shutdown: already shut down";
@@ -104,15 +126,19 @@ let shutdown t =
   Array.iter Domain.join t.workers;
   t.workers <- [||]
 
-let with_pool size f =
-  let t = create size in
+let with_pool ?sequential_below size f =
+  let t = create ?sequential_below size in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let run t job =
   if not t.alive then invalid_arg "Pool: used after shutdown";
   if not (Atomic.compare_and_set t.busy false true) then raise Nested;
-  if t.size = 1 then participate job
+  (* Small jobs run inline on the caller: chunk boundaries, merge order
+     and exception parking are untouched, only the workers stay asleep. *)
+  if t.size = 1 || job.n < t.sequential_below || job.nchunks <= 1 then
+    participate job
   else begin
+    ensure_workers t;
     Mutex.lock t.m;
     t.job <- Some job;
     t.generation <- t.generation + 1;
@@ -135,13 +161,18 @@ let default_wrap f = f ()
 (* Default granularity: several chunks per domain so the shared cursor
    load-balances skewed work, but coarse enough that the atomic claim
    is noise.  Callers whose per-chunk setup allocates (e.g. a scratch
-   array per chunk) pass an explicitly coarser [chunk]. *)
+   array per chunk) pass an explicitly coarser [chunk].  A job that
+   will fall back to the inline path gets size-1 chunking: splitting
+   it per the pool width would multiply any per-chunk setup cost for
+   workers that never see the job. *)
 let chunk_len_for t ?chunk n =
   match chunk with
   | Some c ->
     if c < 1 then invalid_arg "Pool: chunk must be >= 1";
     c
-  | None -> max 1 (n / (8 * t.size))
+  | None ->
+    let width = if n < t.sequential_below then 1 else t.size in
+    max 1 (n / (8 * width))
 
 let parallel_for t ?chunk ?(wrap = default_wrap) ~n body =
   if n < 0 then invalid_arg "Pool.parallel_for: n must be >= 0";

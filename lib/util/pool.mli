@@ -34,21 +34,48 @@ type t
     one — e.g. from inside a job body. *)
 exception Nested
 
-(** [create size] spawns [size - 1] worker domains; jobs run on the
-    caller plus those workers, so [size] is the total parallelism.
-    [size] must be ≥ 1. *)
-val create : int -> t
+(** [create size] makes a pool of [size - 1] worker domains plus the
+    caller, so [size] is the total parallelism.  [size] must be ≥ 1.
+    The workers are spawned lazily, by the first job large enough to
+    engage them: idle domains still take part in GC barriers, so a
+    pool whose every job falls back to the inline path costs exactly
+    nothing over not having a pool.
+
+    [sequential_below] (default {!default_sequential_below}) is the
+    work-item threshold under which a job runs inline on the calling
+    domain instead of waking the workers: small jobs pay more in
+    condition-variable round trips than the loop costs.  The fallback
+    is semantics-preserving — chunk boundaries, merge order, exception
+    behaviour and the busy/Nested discipline are identical; only the
+    scheduling changes.  Pass [~sequential_below:0] to force every job
+    onto the workers (tests that must exercise multi-domain paths). *)
+val create : ?sequential_below:int -> int -> t
 
 (** Total parallelism (caller + workers), as passed to {!create}. *)
 val size : t -> int
 
-(** Join the worker domains.  The pool must be idle; using it
-    afterwards raises [Invalid_argument]. *)
+(** The pool's inline-fallback threshold. *)
+val sequential_below : t -> int
+
+(** [parallel_width t ~n] is the number of domains a job over [n] work
+    items will actually run on: [1] when it falls under the inline
+    threshold, [size t] otherwise.  Callers that derive an explicit
+    [chunk] from the pool size should divide by this instead, so a job
+    destined for the inline path is not split — and does not pay any
+    per-chunk setup — as if all workers were coming. *)
+val parallel_width : t -> n:int -> int
+
+(** Default [sequential_below] (65536 work items). *)
+val default_sequential_below : int
+
+(** Join the worker domains (a no-op when none were ever spawned).
+    The pool must be idle; using it afterwards raises
+    [Invalid_argument]. *)
 val shutdown : t -> unit
 
 (** [with_pool size f] = [create], [f], [shutdown] (also on
     exception). *)
-val with_pool : int -> (t -> 'a) -> 'a
+val with_pool : ?sequential_below:int -> int -> (t -> 'a) -> 'a
 
 (** [parallel_for t ?chunk ?wrap ~n f] calls [f lo hi] for contiguous
     chunks [lo, hi) covering [0 .. n-1] exactly once, distributed over

@@ -6,6 +6,7 @@ let () =
       ("flow", Test_flow.suite);
       ("flow-invariants", Test_flow_invariants.suite);
       ("flow-retarget", Test_retarget.suite);
+      ("flow-warmstart", Test_warmstart.suite);
       ("clique", Test_clique.suite);
       ("pattern", Test_pattern.suite);
       ("core-decomp", Test_core_decomp.suite);

@@ -118,8 +118,13 @@ let test_parallel_stripes_spans_and_counts () =
   let g = Dsd_data.Gen.er_gnp ~seed:3 ~n:120 ~p:0.15 in
   let reference = Dsd_clique.Kclist.count g ~h:3 in
   let domains = 3 in
+  (* sequential_below:0 forces the job onto the workers — the graph is
+     far below the default inline-fallback threshold. *)
   Obs.with_recording (fun () ->
-      let c = Dsd_clique.Parallel.count g ~h:3 ~domains in
+      let c =
+        Dsd_util.Pool.with_pool ~sequential_below:0 domains (fun pool ->
+            Dsd_clique.Parallel.count_in pool g ~h:3)
+      in
       Alcotest.(check int) "parallel count" reference c);
   (* One clique_stripe span per domain, all summed into one entry
      row; instance tallies batch-added per stripe. *)

@@ -109,9 +109,10 @@ let test_differential_pooled () =
       patterns
   done
 
-(* Retargeting a dirty network to a new alpha must yield a network
-   arc-for-arc bit-identical (dst, capacity) to a fresh build at that
-   alpha, with all flow zeroed. *)
+(* Reset-retargeting a dirty network to a new alpha must yield a
+   network arc-for-arc bit-identical (dst, capacity) to a fresh build
+   at that alpha, with all flow zeroed.  (The warm mode keeps flow by
+   design; its equivalences live in test_warmstart.ml.) *)
 let test_retarget_matches_fresh_arcs () =
   let g = Helpers.random_graph ~seed:7 ~max_n:14 ~max_m:40 () in
   List.iter
@@ -125,7 +126,7 @@ let test_retarget_matches_fresh_arcs () =
       let p = FB.prepare family g psi ~instances ~alpha:1.0 in
       ignore (FB.solve (FB.network p));
       (* dirty the flow state *)
-      let rt = FB.retarget p ~alpha:2.5 in
+      let rt = FB.retarget ~warm:false p ~alpha:2.5 in
       let fresh = FB.build family g psi ~instances ~alpha:2.5 in
       let module F = Dsd_flow.Flow_network in
       Alcotest.(check int) "arc count" (F.arc_count fresh.FB.net)

@@ -1,7 +1,7 @@
 # Convenience targets; CI should run `make check`.
 
-.PHONY: all build test test-flow test-warmstart fmt check bench-phases \
-	bench-retarget bench-warmstart clean
+.PHONY: all build test test-flow test-warmstart test-metamorphic fuzz-smoke \
+	coverage fmt check bench-phases bench-retarget bench-warmstart clean
 
 all: build
 
@@ -24,6 +24,29 @@ test-flow:
 test-warmstart:
 	dune exec test/test_main.exe -- test flow-warmstart
 
+# The deterministic metamorphic suite (generators, relations,
+# shrinker, reproducers, mutation self-tests).
+test-metamorphic:
+	dune exec test/test_main.exe -- test metamorphic
+
+# A real fuzzing burst: fresh random cases against every relation,
+# bounded by wall clock so `make check` stays fast.  Uses an
+# arbitrary fixed seed; re-roll with FUZZ_SEED=n.
+FUZZ_SEED ?= 42
+fuzz-smoke:
+	dune exec bin/dsd.exe -- fuzz --cases 400 --seed $(FUZZ_SEED) --time-budget 15
+
+# Line coverage via bisect_ppx, skipped gracefully when the ppx is not
+# installed (the toolchain image does not bake it in, like ocamlformat).
+coverage:
+	@if command -v ocamlfind >/dev/null 2>&1 && ocamlfind query bisect_ppx >/dev/null 2>&1; then \
+		find . -name 'bisect*.coverage' -delete; \
+		dune runtest --instrument-with bisect_ppx --force && \
+		bisect-ppx-report summary; \
+	else \
+		echo "bisect_ppx not installed; skipping coverage"; \
+	fi
+
 # Formatting is checked only when ocamlformat is installed — the
 # toolchain image does not bake it in.
 fmt:
@@ -40,6 +63,7 @@ fmt:
 check:
 	$(MAKE) fmt
 	dune build @default @runtest
+	$(MAKE) fuzz-smoke
 	dune exec bench/main.exe -- --only parallel,retarget,warmstart --smoke
 	dune exec bench/compare.exe -- BENCH_warmstart.json
 

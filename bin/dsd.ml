@@ -333,6 +333,88 @@ let query =
     C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ domains_arg
             $ vertices $ stats_arg $ trace_arg $ no_warm_arg)
 
+(* ---- fuzz ---- *)
+
+let fuzz =
+  let cases =
+    C.Arg.(value & opt int 100
+           & info [ "cases" ] ~docv:"N" ~doc:"Cases to generate.")
+  in
+  let seed =
+    C.Arg.(value & opt int 42
+           & info [ "seed" ] ~docv:"S" ~doc:"Root PRNG seed.")
+  in
+  let budget =
+    C.Arg.(value & opt (some float) None
+           & info [ "time-budget" ] ~docv:"T"
+               ~doc:"Stop generating new cases after $(docv) seconds.")
+  in
+  let relation =
+    C.Arg.(value & opt (some string) None
+           & info [ "relation" ] ~docv:"R"
+               ~doc:"Check only this metamorphic relation (see \
+                     'dsd fuzz --list-relations').")
+  in
+  let list_relations =
+    C.Arg.(value & flag
+           & info [ "list-relations" ] ~doc:"List the relation registry and exit.")
+  in
+  let out =
+    C.Arg.(value & opt string "."
+           & info [ "out" ] ~docv:"DIR"
+               ~doc:"Directory for the reproducer file written on failure.")
+  in
+  let replay =
+    C.Arg.(value & opt (some string) None
+           & info [ "replay" ] ~docv:"FILE"
+               ~doc:"Re-run the single check recorded in a reproducer \
+                     file instead of fuzzing.")
+  in
+  let run cases seed budget relation list_relations out replay =
+    if list_relations then
+      List.iter print_endline Dsd_check.Relation.names
+    else
+      match replay with
+      | Some path ->
+        let repro = Dsd_check.Repro.read path in
+        Printf.printf "replay     %s relation=%s psi=%s seed=%d\n" path
+          repro.Dsd_check.Repro.relation repro.Dsd_check.Repro.psi
+          repro.Dsd_check.Repro.seed;
+        (match Dsd_check.Engine.replay repro with
+        | Dsd_check.Relation.Pass ->
+          print_endline "verdict    PASS (violation no longer reproduces)"
+        | Dsd_check.Relation.Skip why ->
+          Printf.printf "verdict    SKIP (%s)\n" why
+        | Dsd_check.Relation.Fail msg ->
+          print_endline "verdict    FAIL";
+          Printf.printf "violation  %s\n" msg;
+          exit 1)
+      | None ->
+        let summary =
+          Dsd_check.Engine.run ?relation ?time_budget_s:budget ~cases ~seed ()
+        in
+        Printf.printf "fuzz       seed=%d cases=%d\n" seed cases;
+        print_string (Dsd_check.Engine.summary_to_string summary);
+        (match summary.Dsd_check.Engine.failure with
+        | None -> ()
+        | Some f ->
+          let path =
+            Filename.concat out
+              (Printf.sprintf "dsd-fuzz-%s-%d.repro" f.relation f.case_seed)
+          in
+          Dsd_check.Repro.write path (Dsd_check.Engine.to_repro f);
+          Printf.printf "reproducer %s\n" path;
+          Printf.printf "replay     dsd fuzz --replay %s\n" path;
+          exit 1)
+  in
+  let run a b c d e f g = or_die (fun () -> run a b c d e f g) in
+  C.Cmd.v
+    (C.Cmd.info "fuzz"
+       ~doc:"Metamorphic fuzzing: random graphs checked against the \
+             paper's theorems as executable relations.")
+    C.Term.(const run $ cases $ seed $ budget $ relation $ list_relations
+            $ out $ replay)
+
 (* ---- truss ---- *)
 
 let truss =
@@ -379,4 +461,7 @@ let () =
     C.Cmd.info "dsd" ~version:"1.0.0"
       ~doc:"Core-based densest subgraph discovery (VLDB'19 reproduction)."
   in
-  exit (C.Cmd.eval (C.Cmd.group info [ generate; stats; decompose; cds; query; truss; patterns ]))
+  exit
+    (C.Cmd.eval
+       (C.Cmd.group info
+          [ generate; stats; decompose; cds; query; fuzz; truss; patterns ]))

@@ -1,0 +1,165 @@
+module Prng = Dsd_util.Prng
+module G = Dsd_graph.Graph
+
+type relation_stats = {
+  relation : string;
+  checked : int;
+  skipped : int;
+}
+
+type failure = {
+  case_index : int;
+  case_seed : int;
+  aux_seed : int;
+  relation : string;
+  message : string;
+  original : Generator.case;
+  shrunk : Generator.case;
+  shrink_steps : int;
+}
+
+type summary = {
+  cases_run : int;
+  stats : relation_stats list;
+  failure : failure option;
+  out_of_time : bool;
+}
+
+(* Hashtbl.hash is not guaranteed stable across compiler releases;
+   reproducer seeds must be, so roll a fixed polynomial hash. *)
+let stable_hash s =
+  String.fold_left (fun h c -> ((h * 131) + Char.code c) land 0x3FFFFFFF) 7 s
+
+let relations_for = function
+  | None -> Relation.all
+  | Some name -> (
+    match Relation.find name with
+    | Some r -> [ r ]
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Engine: unknown relation %s (known: %s)" name
+           (String.concat ", " Relation.names)))
+
+let shrink_failure subject (rel : Relation.t) ~aux_seed case =
+  let still_fails candidate =
+    match rel.check subject ~rng:(Prng.create aux_seed) candidate with
+    | Relation.Fail _ -> true
+    | Relation.Pass | Relation.Skip _ -> false
+  in
+  let shrunk, steps = Shrink.run ~still_fails case in
+  let message =
+    match rel.check subject ~rng:(Prng.create aux_seed) shrunk with
+    | Relation.Fail m -> m
+    | Relation.Pass | Relation.Skip _ ->
+      (* Unreachable: the shrinker only adopts failing candidates and
+         the check is deterministic. *)
+      assert false
+  in
+  (shrunk, steps, message)
+
+let run ?(subject = Subject.default) ?relation ?time_budget_s ~cases ~seed ()
+    =
+  let rels = relations_for relation in
+  let checked = Hashtbl.create 16 and skipped = Hashtbl.create 16 in
+  let bump tbl name =
+    Hashtbl.replace tbl name (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name))
+  in
+  let started = Dsd_util.Timer.now_s () in
+  let over_budget () =
+    match time_budget_s with
+    | None -> false
+    | Some b -> Dsd_util.Timer.now_s () -. started >= b
+  in
+  let root = Prng.create seed in
+  let failure = ref None in
+  let cases_run = ref 0 in
+  let out_of_time = ref false in
+  let i = ref 0 in
+  while !i < cases && !failure = None && not !out_of_time do
+    incr i;
+    (* Drawn unconditionally so the case stream does not depend on the
+       relation filter or the time budget. *)
+    let case_seed = Int64.to_int (Prng.bits64 root) land max_int in
+    if over_budget () then out_of_time := true
+    else begin
+      incr cases_run;
+      let case = Generator.sample (Prng.create case_seed) in
+      List.iter
+        (fun (rel : Relation.t) ->
+          if !failure = None then begin
+            let aux_seed = case_seed lxor stable_hash rel.name in
+            match rel.check subject ~rng:(Prng.create aux_seed) case with
+            | Relation.Pass -> bump checked rel.name
+            | Relation.Skip _ -> bump skipped rel.name
+            | Relation.Fail _ ->
+              bump checked rel.name;
+              let shrunk, shrink_steps, message =
+                shrink_failure subject rel ~aux_seed case
+              in
+              failure :=
+                Some
+                  {
+                    case_index = !i;
+                    case_seed;
+                    aux_seed;
+                    relation = rel.name;
+                    message;
+                    original = case;
+                    shrunk;
+                    shrink_steps;
+                  }
+          end)
+        rels
+    end
+  done;
+  let stats =
+    List.map
+      (fun (rel : Relation.t) ->
+        {
+          relation = rel.name;
+          checked = Option.value ~default:0 (Hashtbl.find_opt checked rel.name);
+          skipped = Option.value ~default:0 (Hashtbl.find_opt skipped rel.name);
+        })
+      rels
+  in
+  { cases_run = !cases_run; stats; failure = !failure;
+    out_of_time = !out_of_time }
+
+let to_repro f =
+  Repro.of_case ~relation:f.relation ~seed:f.aux_seed f.shrunk
+
+let replay ?(subject = Subject.default) (r : Repro.t) =
+  match Relation.find r.relation with
+  | None -> invalid_arg ("Engine: unknown relation " ^ r.relation)
+  | Some rel ->
+    let case = Repro.to_case r in
+    rel.check subject ~rng:(Prng.create r.seed) case
+
+let summary_to_string s =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%-24s %7s %7s\n" "relation" "checks" "skips");
+  List.iter
+    (fun (st : relation_stats) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-24s %7d %7d\n" st.relation st.checked st.skipped))
+    s.stats;
+  let total =
+    List.fold_left (fun a (st : relation_stats) -> a + st.checked) 0 s.stats
+  in
+  Buffer.add_string b
+    (Printf.sprintf "cases      %d%s\n" s.cases_run
+       (if s.out_of_time then " (stopped: time budget)" else ""));
+  Buffer.add_string b (Printf.sprintf "checks     %d\n" total);
+  (match s.failure with
+  | None -> Buffer.add_string b "verdict    PASS\n"
+  | Some f ->
+    Buffer.add_string b
+      (Printf.sprintf "verdict    FAIL %s (case %d, seed %d)\n" f.relation
+         f.case_index f.case_seed);
+    Buffer.add_string b
+      (Printf.sprintf "witness    %d vertices, %d edges (shrunk from %d/%d in %d steps)\n"
+         (G.n f.shrunk.graph) (G.m f.shrunk.graph) (G.n f.original.graph)
+         (G.m f.original.graph) f.shrink_steps);
+    Buffer.add_string b (Printf.sprintf "violation  %s\n" f.message));
+  Buffer.contents b

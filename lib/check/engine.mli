@@ -1,0 +1,59 @@
+(** The fuzz driver: generate cases, check every relation, shrink the
+    first failure to a minimal witness.
+
+    Fully deterministic in [seed]: the i-th case's seed is drawn from
+    one splitmix stream, and each relation's auxiliary randomness is
+    seeded by [case_seed lxor stable_hash relation_name] — so a
+    failure is replayable from the (seed, relation) pair alone, which
+    is exactly what the reproducer file records. *)
+
+type relation_stats = {
+  relation : string;
+  checked : int;
+  skipped : int;
+}
+
+type failure = {
+  case_index : int;    (** 1-based case counter *)
+  case_seed : int;
+  aux_seed : int;      (** the violated relation's auxiliary seed *)
+  relation : string;
+  message : string;    (** verdict message on the {e shrunk} witness *)
+  original : Generator.case;
+  shrunk : Generator.case;
+  shrink_steps : int;
+}
+
+type summary = {
+  cases_run : int;
+  stats : relation_stats list;  (** registry order *)
+  failure : failure option;
+  out_of_time : bool;  (** stopped early on the time budget *)
+}
+
+(** [stable_hash s] — the version-independent string hash used to
+    derive per-relation auxiliary seeds. *)
+val stable_hash : string -> int
+
+(** [run ~cases ~seed ()] fuzzes until a relation fails, the case
+    budget is exhausted, or the optional wall-clock budget (seconds)
+    runs out.  [relation] restricts checking to one registry entry
+    ([Invalid_argument] if unknown); [subject] swaps the
+    implementation under test. *)
+val run :
+  ?subject:Subject.t ->
+  ?relation:string ->
+  ?time_budget_s:float ->
+  cases:int -> seed:int -> unit -> summary
+
+(** [to_repro failure] packages the shrunk witness. *)
+val to_repro : failure -> Repro.t
+
+(** [replay ?subject repro] re-runs the recorded relation on the
+    recorded graph with the recorded auxiliary seed.
+    [Invalid_argument] if the relation or pattern is unknown. *)
+val replay : ?subject:Subject.t -> Repro.t -> Relation.verdict
+
+(** Deterministic one-block report (no timings): what [dsd fuzz]
+    prints and the golden CLI test pins. *)
+val summary_to_string : summary -> string

@@ -1,0 +1,111 @@
+module G = Dsd_graph.Graph
+module P = Dsd_pattern.Pattern
+module Prng = Dsd_util.Prng
+module Gen = Dsd_data.Gen
+
+type case = {
+  graph : G.t;
+  psi : P.t;
+  cert : int array option;
+  label : string;
+}
+
+type t = {
+  name : string;
+  sample : Prng.t -> case;
+}
+
+(* Seed-based Gen functions are re-seeded from the case stream so one
+   Prng.t drives the whole sample. *)
+let draw_seed rng = Int64.to_int (Prng.bits64 rng) land max_int
+
+(* Weighted psi choice.  Cliques dominate (they exercise the paper's
+   main path); stars and the 4-cycle take the Appendix-D closed-form
+   decompositions; h = 4 keeps enumeration honest. *)
+let pick_psi rng =
+  match Prng.int rng 10 with
+  | 0 | 1 | 2 | 3 -> P.edge
+  | 4 | 5 | 6 -> P.triangle
+  | 7 -> P.clique 4
+  | 8 -> P.star 2
+  | _ -> P.diamond
+
+let gnp =
+  { name = "gnp";
+    sample =
+      (fun rng ->
+        let psi = pick_psi rng in
+        let n = 4 + Prng.int rng 12 in
+        let p = 0.15 +. Prng.float rng 0.35 in
+        let graph = Gen.er_gnp ~seed:(draw_seed rng) ~n ~p in
+        { graph; psi; cert = None;
+          label = Printf.sprintf "gnp(n=%d,p=%.2f)" n p }) }
+
+let chung_lu =
+  { name = "chung-lu";
+    sample =
+      (fun rng ->
+        let psi = pick_psi rng in
+        let n = 8 + Prng.int rng 10 in
+        let avg_deg = 2. +. Prng.float rng 3. in
+        let graph =
+          Gen.power_law_chung_lu ~seed:(draw_seed rng) ~n ~alpha:2.5 ~avg_deg
+        in
+        { graph; psi; cert = None;
+          label = Printf.sprintf "chung-lu(n=%d,deg=%.1f)" n avg_deg }) }
+
+let union_of_gnp =
+  { name = "union";
+    sample =
+      (fun rng ->
+        let psi = pick_psi rng in
+        let half rng =
+          let n = 3 + Prng.int rng 7 in
+          let p = 0.2 +. Prng.float rng 0.4 in
+          Gen.er_gnp ~seed:(draw_seed rng) ~n ~p
+        in
+        let a = half rng and b = half rng in
+        { graph = Gen.disjoint_union a b; psi; cert = None;
+          label = Printf.sprintf "union(%d+%d)" (G.n a) (G.n b) }) }
+
+let planted_block =
+  { name = "planted";
+    sample =
+      (fun rng ->
+        let h = 2 + Prng.int rng 2 in
+        let psi = P.clique h in
+        let n = 8 + Prng.int rng 10 in
+        let block = h + 1 + Prng.int rng (min 3 (n - h - 1)) in
+        let graph, members =
+          Gen.planted_clique_subset ~seed:(draw_seed rng) ~n ~p:0.1 ~block
+        in
+        { graph; psi; cert = Some members;
+          label = Printf.sprintf "planted(n=%d,block=%d,h=%d)" n block h }) }
+
+let sparse =
+  { name = "sparse";
+    sample =
+      (fun rng ->
+        let psi = pick_psi rng in
+        let n = 1 + Prng.int rng 12 in
+        let m = if n < 2 then 0 else Prng.int rng n in
+        let graph =
+          Gen.random_graph_for_tests (Prng.create (draw_seed rng))
+            ~max_n:n ~max_m:m
+        in
+        { graph; psi; cert = None;
+          label = Printf.sprintf "sparse(n<=%d,m<=%d)" n m }) }
+
+let all = [ gnp; chung_lu; union_of_gnp; planted_block; sparse ]
+
+let sample rng =
+  let gen = List.nth all (Prng.int rng (List.length all)) in
+  gen.sample rng
+
+let pp_case fmt c =
+  Format.fprintf fmt "%s psi=%s n=%d m=%d%s@ %a" c.label c.psi.P.name
+    (G.n c.graph) (G.m c.graph)
+    (match c.cert with
+    | None -> ""
+    | Some vs -> Printf.sprintf " cert=%d" (Array.length vs))
+    G.pp c.graph

@@ -1,0 +1,88 @@
+(* Naive re-derivations of ground truth; shared by the unit suites and
+   the fuzz engine so there is exactly one oracle implementation. *)
+
+module G = Dsd_graph.Graph
+module P = Dsd_pattern.Pattern
+
+(* Instances of psi inside g, by the slow generic matcher. *)
+let slow_count g psi =
+  match psi.P.kind with
+  | P.Clique -> Dsd_clique.Naive.count g ~h:psi.P.size
+  | _ -> Dsd_pattern.Match.count g psi
+
+let density_of_subset g psi vs =
+  if Array.length vs = 0 then 0.
+  else begin
+    let sub, _ = G.induced g vs in
+    float_of_int (slow_count sub psi) /. float_of_int (Array.length vs)
+  end
+
+(* Exhaustive densest subgraph over all non-empty vertex subsets.
+   Only for n <= ~14. *)
+let brute_force_densest g psi =
+  let n = G.n g in
+  assert (n <= 16);
+  let best_density = ref 0. and best_set = ref [||] in
+  for mask = 1 to (1 lsl n) - 1 do
+    let vs = ref [] in
+    for v = n - 1 downto 0 do
+      if mask land (1 lsl v) <> 0 then vs := v :: !vs
+    done;
+    let vs = Array.of_list !vs in
+    let d = density_of_subset g psi vs in
+    if d > !best_density +. 1e-12 then begin
+      best_density := d;
+      best_set := vs
+    end
+  done;
+  (!best_density, !best_set)
+
+(* Naive (k, Psi)-core: threshold peeling with full re-enumeration
+   after every deletion. *)
+let survivors g psi k =
+  let alive = Array.make (G.n g) true in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let live =
+      Array.of_list
+        (List.filter (fun v -> alive.(v)) (List.init (G.n g) Fun.id))
+    in
+    let sub, map = G.induced g live in
+    let insts =
+      match psi.P.kind with
+      | P.Clique -> Dsd_clique.Naive.list sub ~h:psi.P.size
+      | _ -> Dsd_pattern.Match.instances sub psi
+    in
+    let deg = Array.make (G.n sub) 0 in
+    Array.iter
+      (fun inst -> Array.iter (fun v -> deg.(v) <- deg.(v) + 1) inst)
+      insts;
+    Array.iteri
+      (fun i d ->
+        if d < k && alive.(map.(i)) then begin
+          alive.(map.(i)) <- false;
+          changed := true
+        end)
+      deg
+  done;
+  alive
+
+let naive_core_numbers g psi =
+  let n = G.n g in
+  let core = Array.make n 0 in
+  let k = ref 1 in
+  let continue_ = ref true in
+  while !continue_ do
+    let alive = survivors g psi !k in
+    let any = ref false in
+    Array.iteri
+      (fun v a ->
+        if a then begin
+          core.(v) <- !k;
+          any := true
+        end)
+      alive;
+    if !any then incr k else continue_ := false
+  done;
+  core

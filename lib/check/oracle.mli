@@ -1,0 +1,34 @@
+(** Independent ground-truth implementations.
+
+    Everything here is deliberately naive: exhaustive or re-enumerating
+    re-derivations of the quantities the optimised library computes,
+    used as oracles by both the unit suites ([test/helpers.ml]) and the
+    metamorphic fuzz engine ({!Engine}).  None of this code shares a
+    line with the code under test. *)
+
+(** [slow_count g psi] is mu(G, Psi) by the slow generic matcher
+    (naive clique enumeration for clique patterns). *)
+val slow_count : Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> int
+
+(** [density_of_subset g psi vs] is the Psi-density of the subgraph of
+    [g] induced by [vs]; 0 on the empty set.  For any [vs] this is a
+    sound lower bound on rho_opt — the certificate check of
+    {!Relation.planted_certificate} rests on exactly this. *)
+val density_of_subset :
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> int array -> float
+
+(** [brute_force_densest g psi] is the exact densest subgraph by
+    enumeration of all 2^n - 1 non-empty vertex subsets.  Only for
+    n <= 16 (asserted). *)
+val brute_force_densest :
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> float * int array
+
+(** [survivors g psi k] marks the vertices of the (k, Psi)-core by
+    threshold peeling with full re-enumeration after every deletion. *)
+val survivors :
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> int -> bool array
+
+(** [naive_core_numbers g psi] is the (k, Psi)-core number of every
+    vertex, by running {!survivors} for k = 1, 2, ... until empty. *)
+val naive_core_numbers :
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> int array

@@ -1,0 +1,305 @@
+module G = Dsd_graph.Graph
+module P = Dsd_pattern.Pattern
+module Prng = Dsd_util.Prng
+
+type verdict =
+  | Pass
+  | Skip of string
+  | Fail of string
+
+type t = {
+  name : string;
+  check : Subject.t -> rng:Prng.t -> Generator.case -> verdict;
+}
+
+(* Inequality slack.  Densities are ratios of exact ints ≤ 2^53, so
+   genuinely equal rationals divide to bit-identical floats; the slack
+   only absorbs the binary-search stopping width of the exact
+   solvers. *)
+let eps = 1e-9
+
+(* Equality tolerance for two computations of the same rational. *)
+let tight = 1e-12
+
+let failf fmt = Printf.ksprintf (fun s -> Fail s) fmt
+
+let rho subject g psi = (subject.Subject.core_exact g psi).Dsd_core.Density.density
+
+(* ---- Theorem 1: kmax / |V_Psi| <= rho_opt <= kmax ---- *)
+
+let theorem1_bounds =
+  { name = "theorem1-bounds";
+    check =
+      (fun subject ~rng:_ (c : Generator.case) ->
+        let kmax = Subject.kmax subject c.graph c.psi in
+        let r = rho subject c.graph c.psi in
+        let size = float_of_int c.psi.P.size in
+        let lower = float_of_int kmax /. size in
+        if r < lower -. eps then
+          failf "Theorem 1 lower bound violated: kmax=%d |Vpsi|=%d so \
+                 rho_opt >= %.12g, but rho=%.12g"
+            kmax c.psi.P.size lower r
+        else if r > float_of_int kmax +. eps then
+          failf "Theorem 1 upper bound violated: kmax=%d but rho=%.12g"
+            kmax r
+        else Pass) }
+
+(* ---- Theorems 2-4: the approximations are 1/|V_Psi| and <= opt ---- *)
+
+let approx_ratio =
+  { name = "approx-ratio";
+    check =
+      (fun subject ~rng:_ (c : Generator.case) ->
+        let opt = rho subject c.graph c.psi in
+        let size = float_of_int c.psi.P.size in
+        let algos =
+          [ ("PeelApp(Thm 2)", (subject.Subject.peel c.graph c.psi).density);
+            ("IncApp(Thm 3)", (subject.Subject.inc_app c.graph c.psi).density);
+            ("CoreApp(Thm 4)", (subject.Subject.core_app c.graph c.psi).density);
+          ]
+        in
+        let bad =
+          List.filter_map
+            (fun (name, d) ->
+              if d < (opt /. size) -. eps then
+                Some
+                  (Printf.sprintf
+                     "%s below the 1/|Vpsi| ratio: %.12g < %.12g/%g" name d
+                     opt size)
+              else if d > opt +. eps then
+                Some
+                  (Printf.sprintf "%s beats the optimum: %.12g > rho=%.12g"
+                     name d opt)
+              else None)
+            algos
+        in
+        match bad with
+        | [] -> Pass
+        | msgs -> Fail (String.concat "; " msgs)) }
+
+(* ---- vertex relabelling ---- *)
+
+let permute_graph rng g =
+  let n = G.n g in
+  let perm = Array.init n Fun.id in
+  Prng.shuffle rng perm;
+  let edges =
+    Array.map (fun (u, v) -> (perm.(u), perm.(v))) (G.edges g)
+  in
+  (G.of_edges ~n edges, perm)
+
+let permutation_invariance =
+  { name = "permutation-invariance";
+    check =
+      (fun subject ~rng (c : Generator.case) ->
+        let permuted, perm = permute_graph rng c.graph in
+        let core = subject.Subject.core_numbers c.graph c.psi in
+        let core_p = subject.Subject.core_numbers permuted c.psi in
+        let mismatch = ref None in
+        Array.iteri
+          (fun v cv ->
+            if !mismatch = None && core_p.(perm.(v)) <> cv then
+              mismatch := Some (v, cv, core_p.(perm.(v))))
+          core;
+        match !mismatch with
+        | Some (v, cv, cp) ->
+          failf
+            "core numbers not permutation-equivariant: core(%d)=%d but \
+             core(pi(%d))=%d"
+            v cv v cp
+        | None ->
+          let r = rho subject c.graph c.psi in
+          let rp = rho subject permuted c.psi in
+          if Float.abs (r -. rp) > tight then
+            failf "rho_opt changed under relabelling: %.17g vs %.17g" r rp
+          else Pass) }
+
+(* ---- disjoint union = max over components ---- *)
+
+let disjoint_union =
+  { name = "disjoint-union";
+    check =
+      (fun subject ~rng (c : Generator.case) ->
+        let n2 = 3 + Prng.int rng 7 in
+        let p = 0.2 +. Prng.float rng 0.4 in
+        let seed = Int64.to_int (Prng.bits64 rng) land max_int in
+        let other = Dsd_data.Gen.er_gnp ~seed ~n:n2 ~p in
+        let union = Dsd_data.Gen.disjoint_union c.graph other in
+        let r1 = rho subject c.graph c.psi in
+        let r2 = rho subject other c.psi in
+        let ru = rho subject union c.psi in
+        if Float.abs (ru -. Float.max r1 r2) > tight then
+          failf
+            "rho_opt(union) should be max of the components: \
+             max(%.12g, %.12g) but got %.12g"
+            r1 r2 ru
+        else begin
+          let k1 = Subject.kmax subject c.graph c.psi in
+          let k2 = Subject.kmax subject other c.psi in
+          let ku = Subject.kmax subject union c.psi in
+          if ku <> max k1 k2 then
+            failf "kmax(union) should be max(%d, %d) but got %d" k1 k2 ku
+          else Pass
+        end) }
+
+(* ---- adding an edge is monotone (instances are subgraph matches,
+   Definition 7, so no instance is ever destroyed) ---- *)
+
+let edge_monotonicity =
+  { name = "edge-monotonicity";
+    check =
+      (fun subject ~rng (c : Generator.case) ->
+        let g = c.graph in
+        let n = G.n g in
+        let non_edges = ref [] in
+        for u = n - 1 downto 0 do
+          for v = n - 1 downto u + 1 do
+            if not (G.mem_edge g u v) then non_edges := (u, v) :: !non_edges
+          done
+        done;
+        let non_edges = Array.of_list !non_edges in
+        if Array.length non_edges = 0 then Skip "graph is complete"
+        else begin
+          let u, v = non_edges.(Prng.int rng (Array.length non_edges)) in
+          let bigger =
+            G.of_edges ~n (Array.append (G.edges g) [| (u, v) |])
+          in
+          let r = rho subject g c.psi in
+          let r' = rho subject bigger c.psi in
+          if r' < r -. eps then
+            failf "adding edge (%d,%d) decreased rho_opt: %.12g -> %.12g" u
+              v r r'
+          else begin
+            let k = Subject.kmax subject g c.psi in
+            let k' = Subject.kmax subject bigger c.psi in
+            if k' < k then
+              failf "adding edge (%d,%d) decreased kmax: %d -> %d" u v k k'
+            else Pass
+          end
+        end) }
+
+(* ---- warm-started flow must be bit-identical to reset-per-probe ---- *)
+
+let warm_vs_cold =
+  { name = "warm-vs-cold";
+    check =
+      (fun subject ~rng:_ (c : Generator.case) ->
+        let check_one name run =
+          let warm : Dsd_core.Density.subgraph = run ~warm:true in
+          let cold : Dsd_core.Density.subgraph = run ~warm:false in
+          if warm.density <> cold.density then
+            Some
+              (Printf.sprintf "%s: warm density %.17g <> cold %.17g" name
+                 warm.density cold.density)
+          else if warm.vertices <> cold.vertices then
+            Some
+              (Printf.sprintf "%s: warm vertex set differs from cold (%d vs %d vertices)"
+                 name
+                 (Array.length warm.vertices)
+                 (Array.length cold.vertices))
+          else None
+        in
+        let bad =
+          List.filter_map Fun.id
+            [ check_one "Exact" (fun ~warm ->
+                  subject.Subject.exact ~warm c.graph c.psi);
+              check_one "CoreExact" (fun ~warm ->
+                  subject.Subject.core_exact ~warm c.graph c.psi);
+            ]
+        in
+        match bad with
+        | [] -> Pass
+        | msgs -> Fail (String.concat "; " msgs)) }
+
+(* ---- pool width 1 vs N bit-equality ---- *)
+
+let pool_width =
+  { name = "pool-width";
+    check =
+      (fun subject ~rng:_ (c : Generator.case) ->
+        Dsd_util.Pool.with_pool 2 (fun pool ->
+            let check_one name (seq : Dsd_core.Density.subgraph)
+                (par : Dsd_core.Density.subgraph) =
+              if seq.density <> par.density || seq.vertices <> par.vertices
+              then
+                Some
+                  (Printf.sprintf
+                     "%s: pooled result differs (density %.17g vs %.17g)"
+                     name seq.density par.density)
+              else None
+            in
+            let bad =
+              List.filter_map Fun.id
+                [ check_one "CoreExact"
+                    (subject.Subject.core_exact c.graph c.psi)
+                    (subject.Subject.core_exact ~pool c.graph c.psi);
+                  check_one "IncApp"
+                    (subject.Subject.inc_app c.graph c.psi)
+                    (subject.Subject.inc_app ~pool c.graph c.psi);
+                ]
+            in
+            let cores = subject.Subject.core_numbers c.graph c.psi in
+            let cores_p = subject.Subject.core_numbers ~pool c.graph c.psi in
+            let bad =
+              if cores <> cores_p then
+                "core numbers differ across pool widths" :: bad
+              else bad
+            in
+            match bad with
+            | [] -> Pass
+            | msgs -> Fail (String.concat "; " msgs))) }
+
+(* ---- Exact = CoreExact = brute force on small graphs ---- *)
+
+let exact_vs_brute =
+  { name = "exact-vs-brute";
+    check =
+      (fun subject ~rng:_ (c : Generator.case) ->
+        let d_exact = (subject.Subject.exact c.graph c.psi).density in
+        let d_core = rho subject c.graph c.psi in
+        if Float.abs (d_exact -. d_core) > tight then
+          failf "Exact and CoreExact disagree: %.17g vs %.17g" d_exact d_core
+        else if G.n c.graph > 10 then
+          Skip "n > 10: brute force too slow, Exact-vs-CoreExact only"
+        else begin
+          let d_brute, _ = Oracle.brute_force_densest c.graph c.psi in
+          if Float.abs (d_exact -. d_brute) > eps then
+            failf "exact solvers disagree with brute force: %.12g vs %.12g"
+              d_exact d_brute
+          else Pass
+        end) }
+
+(* ---- planted certificate: any subset's density lower-bounds
+   rho_opt; the generator plants one dense enough to bite ---- *)
+
+let planted_certificate =
+  { name = "planted-certificate";
+    check =
+      (fun subject ~rng:_ (c : Generator.case) ->
+        match c.cert with
+        | None -> Skip "no certificate on this case"
+        | Some vs when Array.length vs = 0 -> Skip "certificate shrunk away"
+        | Some vs ->
+          let witness = Oracle.density_of_subset c.graph c.psi vs in
+          let r = rho subject c.graph c.psi in
+          if r < witness -. eps then
+            failf
+              "rho_opt=%.12g below the certificate subset's density %.12g \
+               (|cert|=%d)"
+              r witness (Array.length vs)
+          else Pass) }
+
+let all =
+  [ theorem1_bounds;
+    approx_ratio;
+    permutation_invariance;
+    disjoint_union;
+    edge_monotonicity;
+    warm_vs_cold;
+    pool_width;
+    exact_vs_brute;
+    planted_certificate;
+  ]
+
+let find name = List.find_opt (fun r -> r.name = name) all
+let names = List.map (fun r -> r.name) all

@@ -1,0 +1,119 @@
+module G = Dsd_graph.Graph
+module P = Dsd_pattern.Pattern
+
+type t = {
+  relation : string;
+  psi : string;
+  seed : int;
+  generator : string;
+  n : int;
+  edges : (int * int) list;
+  cert : int array option;
+}
+
+let of_case ~relation ~seed (case : Generator.case) =
+  {
+    relation;
+    psi = case.psi.P.name;
+    seed;
+    generator = case.label;
+    n = G.n case.graph;
+    edges = Array.to_list (G.edges case.graph);
+    cert = case.cert;
+  }
+
+let known_patterns =
+  [ P.edge; P.triangle; P.clique 4; P.clique 5; P.clique 6; P.star 2;
+    P.star 3 ]
+  @ P.figure7
+
+let pattern_of_name name =
+  List.find_opt (fun (p : P.t) -> p.P.name = name) known_patterns
+
+let to_case t =
+  let psi =
+    match pattern_of_name t.psi with
+    | Some p -> p
+    | None -> invalid_arg ("Repro: unknown pattern " ^ t.psi)
+  in
+  {
+    Generator.graph = G.of_edge_list ~n:t.n t.edges;
+    psi;
+    cert = t.cert;
+    label = t.generator;
+  }
+
+let write path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "# dsd-fuzz reproducer\n";
+      Printf.fprintf oc "# relation %s\n" t.relation;
+      Printf.fprintf oc "# psi %s\n" t.psi;
+      Printf.fprintf oc "# seed %d\n" t.seed;
+      Printf.fprintf oc "# generator %s\n" t.generator;
+      Printf.fprintf oc "# n %d\n" t.n;
+      Option.iter
+        (fun vs ->
+          output_string oc "# cert";
+          Array.iter (Printf.fprintf oc " %d") vs;
+          output_string oc "\n")
+        t.cert;
+      List.iter (fun (u, v) -> Printf.fprintf oc "%d %d\n" u v) t.edges)
+
+let read path =
+  let ic = open_in path in
+  let relation = ref None
+  and psi = ref None
+  and seed = ref None
+  and generator = ref ""
+  and n = ref None
+  and cert = ref None
+  and edges = ref [] in
+  let malformed line = failwith ("Repro: malformed line: " ^ line) in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          let line = String.trim (input_line ic) in
+          if String.length line = 0 then ()
+          else if line.[0] = '#' then begin
+            let words =
+              String.split_on_char ' ' line
+              |> List.filter (fun s -> s <> "" && s <> "#")
+            in
+            match words with
+            | "dsd-fuzz" :: _ -> ()
+            | [ "relation"; r ] -> relation := Some r
+            | [ "psi"; p ] -> psi := Some p
+            | [ "seed"; s ] -> seed := int_of_string_opt s
+            | "generator" :: rest -> generator := String.concat " " rest
+            | [ "n"; v ] -> n := int_of_string_opt v
+            | "cert" :: vs ->
+              cert := Some (Array.of_list (List.map int_of_string vs))
+            | _ -> malformed line
+          end
+          else
+            match String.split_on_char ' ' line
+                  |> List.filter (fun s -> s <> "") with
+            | [ u; v ] ->
+              (match (int_of_string_opt u, int_of_string_opt v) with
+              | Some u, Some v -> edges := (u, v) :: !edges
+              | _ -> malformed line)
+            | _ -> malformed line
+        done
+      with End_of_file -> ());
+  match (!relation, !psi, !seed, !n) with
+  | Some relation, Some psi, Some seed, Some n ->
+    {
+      relation;
+      psi;
+      seed;
+      generator = !generator;
+      n;
+      edges = List.rev !edges;
+      cert = !cert;
+    }
+  | _ -> failwith "Repro: missing relation/psi/seed/n header"

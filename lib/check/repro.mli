@@ -1,0 +1,49 @@
+(** Replayable reproducer files.
+
+    A reproducer is a plain edge-list file whose comment header pins
+    everything needed to re-run the exact failing check: the violated
+    relation, the pattern, the auxiliary seed the relation drew its
+    randomness from, and the (possibly shrunk) certificate.  The edge
+    list itself is the shrunk witness graph; [n] is recorded
+    explicitly because isolated vertices are meaningful and a bare
+    edge list cannot represent them.
+
+    Format (order of header lines is fixed):
+    {v
+    # dsd-fuzz reproducer
+    # relation <name>
+    # psi <pattern-name>
+    # seed <aux-seed>
+    # generator <label>
+    # n <vertex-count>
+    # cert <v1> <v2> ...        (only when a certificate is present)
+    <u> <v>                      (one edge per line)
+    v} *)
+
+type t = {
+  relation : string;
+  psi : string;          (** pattern name, parsed by {!pattern_of_name} *)
+  seed : int;            (** the relation's auxiliary PRNG seed *)
+  generator : string;    (** originating generator label, informational *)
+  n : int;
+  edges : (int * int) list;  (** u < v, ascending *)
+  cert : int array option;
+}
+
+(** [of_case ~relation ~seed case] packages a case for writing. *)
+val of_case : relation:string -> seed:int -> Generator.case -> t
+
+(** [to_case t] rebuilds the case (raises [Invalid_argument] on an
+    unknown pattern name). *)
+val to_case : t -> Generator.case
+
+(** [pattern_of_name s] resolves the built-in pattern names used by
+    the fuzz engine ("edge", "triangle", "h-clique", "x-star",
+    "diamond", "c3-star", "2-triangle", "3-triangle", "basket"). *)
+val pattern_of_name : string -> Dsd_pattern.Pattern.t option
+
+val write : string -> t -> unit
+
+(** [read path] parses a reproducer.  @raise Failure on malformed
+    files. *)
+val read : string -> t

@@ -1,0 +1,66 @@
+module G = Dsd_graph.Graph
+
+let remove_vertex (case : Generator.case) v =
+  let n = G.n case.graph in
+  let keep =
+    Array.of_list (List.filter (fun u -> u <> v) (List.init n Fun.id))
+  in
+  let sub, _map = G.induced case.graph keep in
+  let remap u = if u < v then Some u else if u = v then None else Some (u - 1) in
+  let cert =
+    Option.map
+      (fun c -> Array.of_list (List.filter_map remap (Array.to_list c)))
+      case.cert
+  in
+  { case with graph = sub; cert }
+
+let remove_edge (case : Generator.case) (u, v) =
+  let edges =
+    Array.of_list
+      (List.filter (fun e -> e <> (u, v)) (Array.to_list (G.edges case.graph)))
+  in
+  { case with graph = G.of_edges ~n:(G.n case.graph) edges }
+
+(* One pass of a deletion family: adopt the first deletion that keeps
+   the case failing and restart the scan on the shrunk case; stop when
+   no deletion works.  Returns the fixpoint and adopted count. *)
+let fixpoint candidates still_fails case =
+  let steps = ref 0 in
+  let rec go case =
+    let rec try_list = function
+      | [] -> case
+      | cand :: rest ->
+        let shrunk = cand case in
+        if still_fails shrunk then begin
+          incr steps;
+          go shrunk
+        end
+        else try_list rest
+    in
+    try_list (candidates case)
+  in
+  let final = go case in
+  (final, !steps)
+
+let vertex_candidates (case : Generator.case) =
+  let n = G.n case.graph in
+  if n <= 1 then []
+  else List.init n (fun i -> fun c -> remove_vertex c (n - 1 - i))
+
+let edge_candidates (case : Generator.case) =
+  Array.to_list
+    (Array.map (fun e -> fun c -> remove_edge c e) (G.edges case.graph))
+
+let run ~still_fails case =
+  let total = ref 0 in
+  let current = ref case in
+  let progress = ref true in
+  (* Alternate vertex and edge passes until neither can delete. *)
+  while !progress do
+    let v, sv = fixpoint vertex_candidates still_fails !current in
+    let e, se = fixpoint edge_candidates still_fails v in
+    current := e;
+    total := !total + sv + se;
+    progress := sv + se > 0 && !total < 10_000
+  done;
+  (!current, !total)

@@ -1,0 +1,25 @@
+(** Greedy witness reduction.
+
+    Given a failing case and a predicate that re-runs the violated
+    relation (with its original auxiliary seed), repeatedly tries to
+    delete a vertex — then an edge — while the failure persists, until
+    no single deletion keeps it failing.  Certificates are remapped on
+    vertex deletion, so the planted-certificate relation shrinks
+    soundly (its witness density is recomputed on the shrunk graph).
+
+    Deterministic: deletions are attempted highest-id first, so the
+    same failing case always shrinks to the same witness. *)
+
+(** [remove_vertex case v] deletes [v], renumbering ids above it down
+    by one and remapping the certificate. *)
+val remove_vertex : Generator.case -> int -> Generator.case
+
+(** [remove_edge case (u, v)] deletes one edge, keeping n. *)
+val remove_edge : Generator.case -> int * int -> Generator.case
+
+(** [run ~still_fails case] greedily minimises [case].  Returns the
+    shrunk case and the number of deletions adopted.  [still_fails]
+    must be pure and deterministic. *)
+val run :
+  still_fails:(Generator.case -> bool) ->
+  Generator.case -> Generator.case * int

@@ -177,6 +177,29 @@ let planted_clique ~seed ~n ~p ~clique =
   done;
   G.of_edge_list ~n !edges
 
+let planted_clique_subset ~seed ~n ~p ~block =
+  if block > n then invalid_arg "Gen.planted_clique_subset: block larger than n";
+  let background = er_gnp ~seed ~n ~p in
+  let rng = Prng.create (seed lxor 0x9e3779b9) in
+  let ids = Array.init n Fun.id in
+  Prng.shuffle rng ids;
+  let members = Array.sub ids 0 block in
+  Array.sort compare members;
+  let edges = ref (Array.to_list (G.edges background)) in
+  for i = 0 to block - 1 do
+    for j = i + 1 to block - 1 do
+      edges := (members.(i), members.(j)) :: !edges
+    done
+  done;
+  (G.of_edge_list ~n !edges, members)
+
+let disjoint_union g1 g2 =
+  let n1 = G.n g1 in
+  let edges = ref [] in
+  G.iter_edges g1 ~f:(fun u v -> edges := (u, v) :: !edges);
+  G.iter_edges g2 ~f:(fun u v -> edges := (u + n1, v + n1) :: !edges);
+  G.of_edge_list ~n:(n1 + G.n g2) !edges
+
 let communities ~seed ~n ~communities ~p_in ~p_out =
   if communities < 1 then invalid_arg "Gen.communities: need at least one";
   let rng = Prng.create seed in

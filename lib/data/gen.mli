@@ -54,6 +54,24 @@ val communities :
     pair (u, v), u ≠ v, is an arc independently with probability p. *)
 val er_directed : seed:int -> n:int -> p:float -> Dsd_graph.Digraph.t
 
+(** [planted_clique_subset ~seed ~n ~p ~block] — sparse ER background
+    with a clique planted on a uniformly random [block]-subset of the
+    vertices (unlike {!planted_clique}, which always uses the id
+    prefix, so tests cannot accidentally pass by special-casing low
+    ids).  Returns the graph and the sorted planted vertex set: a
+    *certificate* — for psi = h-clique with h ≤ block, the planted set
+    has Psi-density ≥ C(block, h) / block, which lower-bounds
+    rho_opt. *)
+val planted_clique_subset :
+  seed:int -> n:int -> p:float -> block:int ->
+  Dsd_graph.Graph.t * int array
+
+(** [disjoint_union g1 g2] — the disjoint union, with [g2]'s vertex
+    ids shifted up by [n g1].  rho_opt and kmax of the union are the
+    max over the components (the fuzz engine's union relation). *)
+val disjoint_union :
+  Dsd_graph.Graph.t -> Dsd_graph.Graph.t -> Dsd_graph.Graph.t
+
 (** [random_graph_for_tests prng ~max_n ~max_m] — a small arbitrary
     graph for property tests. *)
 val random_graph_for_tests : Dsd_util.Prng.t -> max_n:int -> max_m:int -> Dsd_graph.Graph.t

@@ -1,19 +1,47 @@
+(* Vertex ids are strict non-negative decimals: int_of_string_opt alone
+   would silently accept OCaml literal syntax — hex ("0x10" = 16),
+   underscores ("1_0" = 10), signs — and misparse a corrupt file into a
+   plausible-looking graph. *)
+let is_decimal s =
+  String.length s > 0 && String.for_all (fun c -> c >= '0' && c <= '9') s
+
 let parse_lines fold_lines =
   let raw = Dsd_util.Vec.Int.create () in
-  fold_lines (fun line ->
+  fold_lines (fun original ->
+      (* Strip trailing comments so "u v  # note" parses. *)
+      let line =
+        match String.index_opt original '#' with
+        | Some i -> String.sub original 0 i
+        | None -> original
+      in
       let line = String.trim line in
-      if String.length line > 0 && line.[0] <> '#' && line.[0] <> '%' then begin
+      if String.length line > 0 && line.[0] <> '%' then begin
+        let malformed why =
+          failwith
+            (Printf.sprintf "Io: %s in line: %s" why (String.trim original))
+        in
         match String.split_on_char ' ' line |> List.concat_map (String.split_on_char '\t')
               |> List.filter (fun s -> s <> "") with
-        | [a; b] | a :: b :: _ ->
+        | a :: b :: rest ->
           let parse s =
-            match int_of_string_opt s with
-            | Some v when v >= 0 -> v
-            | _ -> failwith ("Io: malformed edge line: " ^ line)
+            if not (is_decimal s) then
+              malformed (Printf.sprintf "malformed vertex id %S" s)
+            else
+              match int_of_string_opt s with
+              | Some v -> v
+              | None -> malformed (Printf.sprintf "vertex id %S out of range" s)
           in
+          (* Extra columns (weights, timestamps) are ignored but must
+             at least be numeric — anything else means the file is not
+             an edge list. *)
+          List.iter
+            (fun s ->
+              if float_of_string_opt s = None then
+                malformed (Printf.sprintf "malformed trailing column %S" s))
+            rest;
           Dsd_util.Vec.Int.push raw (parse a);
           Dsd_util.Vec.Int.push raw (parse b)
-        | _ -> failwith ("Io: malformed edge line: " ^ line)
+        | _ -> malformed "malformed edge line"
       end);
   let flat = Dsd_util.Vec.Int.to_array raw in
   (* Compact sparse ids to 0..n-1 preserving numeric order. *)

@@ -1,12 +1,21 @@
 (** Plain-text edge-list serialisation.
 
-    Format: optional comment lines starting with ['#' ] or ['%'], then
-    one [u v] pair per line.  Vertex ids may be arbitrary non-negative
-    integers; they are compacted to a dense [0..n-1] range on load
-    (SNAP files use sparse ids). *)
+    Format: one [u v] pair per line, separated by spaces or tabs.
+    ['#'] starts a comment (whole-line or trailing); lines starting
+    with ['%'] are comments too (the Konect convention).  CRLF line
+    endings and surrounding whitespace are tolerated.  Extra columns
+    after the two endpoints (weights, timestamps) are accepted but
+    must be numeric.  Vertex ids are strict non-negative decimal
+    integers — ["0x10"], ["1_0"], ["+3"] and negatives are rejected
+    with a one-line error naming the offending line — and may be
+    arbitrarily sparse; they are compacted to a dense [0..n-1] range
+    on load (SNAP files use sparse ids).  Self loops and duplicate
+    (or reversed-duplicate) edges are dropped, matching
+    {!Graph.of_edges}. *)
 
 (** [read path] loads a graph and the map from dense ids back to the
-    ids found in the file. *)
+    ids found in the file.
+    @raise Failure on malformed lines. *)
 val read : string -> Graph.t * int array
 
 (** [read_string data] parses the same format from memory. *)

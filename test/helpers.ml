@@ -1,98 +1,52 @@
-(* Shared oracles and fixtures for the test suite.  Everything here is
-   deliberately naive: independent re-derivations of ground truth that
-   the optimised library code is checked against. *)
+(* Shared oracles and fixtures for the test suite.
+
+   Ground-truth oracles live in Dsd_check.Oracle (one implementation,
+   shared with the fuzz engine); the aliases below keep the historical
+   [Helpers.*] call sites working.
+
+   Every randomized fixture honors the DSD_SEED environment variable:
+   unset (or 0) reproduces the historical streams, any other value
+   re-rolls the whole randomized tier.  Failure messages built with
+   [seed_ctx] always name the seed — and the override, when one is
+   active — so any failure is replayable. *)
 
 module G = Dsd_graph.Graph
 module P = Dsd_pattern.Pattern
 
-(* Instances of psi inside g, by the slow generic matcher. *)
-let slow_count g psi =
-  match psi.P.kind with
-  | P.Clique -> Dsd_clique.Naive.count g ~h:psi.P.size
-  | _ -> Dsd_pattern.Match.count g psi
+(* ---- oracles (Dsd_check.Oracle aliases) ---- *)
 
-let density_of_subset g psi vs =
-  if Array.length vs = 0 then 0.
-  else begin
-    let sub, _ = G.induced g vs in
-    float_of_int (slow_count sub psi) /. float_of_int (Array.length vs)
-  end
+let slow_count = Dsd_check.Oracle.slow_count
+let density_of_subset = Dsd_check.Oracle.density_of_subset
+let brute_force_densest = Dsd_check.Oracle.brute_force_densest
+let naive_core_numbers = Dsd_check.Oracle.naive_core_numbers
 
-(* Exhaustive densest subgraph over all non-empty vertex subsets.
-   Only for n <= ~14. *)
-let brute_force_densest g psi =
-  let n = G.n g in
-  assert (n <= 16);
-  let best_density = ref 0. and best_set = ref [||] in
-  for mask = 1 to (1 lsl n) - 1 do
-    let vs = ref [] in
-    for v = n - 1 downto 0 do
-      if mask land (1 lsl v) <> 0 then vs := v :: !vs
-    done;
-    let vs = Array.of_list !vs in
-    let d = density_of_subset g psi vs in
-    if d > !best_density +. 1e-12 then begin
-      best_density := d;
-      best_set := vs
-    end
-  done;
-  (!best_density, !best_set)
+(* ---- seeding ---- *)
 
-(* Naive (k, Psi)-core: threshold peeling with full re-enumeration
-   after every deletion. *)
-let survivors g psi k =
-  let alive = Array.make (G.n g) true in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    let live =
-      Array.of_list
-        (List.filter (fun v -> alive.(v)) (List.init (G.n g) Fun.id))
-    in
-    let sub, map = G.induced g live in
-    let insts =
-      match psi.P.kind with
-      | P.Clique -> Dsd_clique.Naive.list sub ~h:psi.P.size
-      | _ -> Dsd_pattern.Match.instances sub psi
-    in
-    let deg = Array.make (G.n sub) 0 in
-    Array.iter
-      (fun inst -> Array.iter (fun v -> deg.(v) <- deg.(v) + 1) inst)
-      insts;
-    Array.iteri
-      (fun i d ->
-        if d < k && alive.(map.(i)) then begin
-          alive.(map.(i)) <- false;
-          changed := true
-        end)
-      deg
-  done;
-  alive
+let env_seed =
+  match Sys.getenv_opt "DSD_SEED" with
+  | None | Some "" -> 0
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> invalid_arg "DSD_SEED must be an integer")
 
-let naive_core_numbers g psi =
-  let n = G.n g in
-  let core = Array.make n 0 in
-  let k = ref 1 in
-  let continue_ = ref true in
-  while !continue_ do
-    let alive = survivors g psi !k in
-    let any = ref false in
-    Array.iteri
-      (fun v a ->
-        if a then begin
-          core.(v) <- !k;
-          any := true
-        end)
-      alive;
-    if !any then incr k else continue_ := false
-  done;
-  core
+(* Mix the override into a suite-local seed.  The multiplier spreads
+   consecutive DSD_SEED values far apart in seed space; 0 is the
+   identity so default runs keep their historical streams. *)
+let effective_seed seed = seed + (env_seed * 0x9e3779b1)
+
+(* The seed part of a failure message: replay instructions included. *)
+let seed_ctx seed =
+  if env_seed = 0 then Printf.sprintf "seed=%d" seed
+  else Printf.sprintf "seed=%d DSD_SEED=%d" seed env_seed
 
 (* Deterministic PRNG for all randomized tests. *)
-let rng seed = Dsd_util.Prng.create seed
+let rng seed = Dsd_util.Prng.create (effective_seed seed)
 
 let random_graph ?(seed = 42) ~max_n ~max_m () =
   Dsd_data.Gen.random_graph_for_tests (rng seed) ~max_n ~max_m
+
+(* ---- checkers ---- *)
 
 (* Sorted-int-array checker. *)
 let sorted_array = Alcotest.(testable (Fmt.Dump.array Fmt.int) ( = ))
@@ -107,12 +61,15 @@ let int_array_as_set a =
 let qtest ?(count = 100) name arb law =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
 
-(* A generator of small random graphs for qcheck properties. *)
+(* A generator of small random graphs for qcheck properties.  The
+   graph seed is re-rolled by DSD_SEED like every other fixture; the
+   qcheck counterexample printer shows the graph itself, so failures
+   stay replayable either way. *)
 let small_graph_gen ?(max_n = 10) ?(max_m = 20) () =
   QCheck.Gen.(
     int_range 0 1_000_000 >|= fun seed ->
     Dsd_data.Gen.random_graph_for_tests
-      (Dsd_util.Prng.create seed) ~max_n ~max_m)
+      (Dsd_util.Prng.create (effective_seed seed)) ~max_n ~max_m)
 
 let small_graph_arb ?max_n ?max_m () =
   QCheck.make

@@ -67,7 +67,7 @@ let test_lemma8_bound () =
           let r = Dsd_core.Inc_app.run g psi in
           if r.Dsd_core.Inc_app.kmax > 0 then
             Alcotest.(check bool)
-              (Printf.sprintf "bound seed=%d %s" seed psi.P.name)
+              (Printf.sprintf "bound %s %s" (Helpers.seed_ctx seed) psi.P.name)
               true
               (r.Dsd_core.Inc_app.subgraph.D.density
                >= (float_of_int r.Dsd_core.Inc_app.kmax /. float_of_int psi.P.size)

@@ -42,7 +42,9 @@ let test_bounds_on_seeded_graphs () =
     let g = Helpers.random_graph ~seed:(100 + seed) ~max_n:11 ~max_m:24 () in
     List.iter
       (fun psi ->
-        check_bounds ~ctx:(Printf.sprintf "seed=%d psi=%s" seed psi.P.name) g psi)
+        check_bounds
+          ~ctx:(Printf.sprintf "%s psi=%s" (Helpers.seed_ctx seed) psi.P.name)
+          g psi)
       patterns
   done
 

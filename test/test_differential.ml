@@ -32,7 +32,7 @@ let test_exact_solvers_agree () =
       List.iter
         (fun h ->
           let psi = P.clique h in
-          let ctx = Printf.sprintf "seed=%d h=%d" seed h in
+          let ctx = Printf.sprintf "%s h=%d" (Helpers.seed_ctx seed) h in
           let reference =
             (Dsd_core.Exact.run g psi).Dsd_core.Exact.subgraph.D.density
           in
@@ -67,7 +67,7 @@ let test_exact_matches_brute_force () =
           let opt, _ = Helpers.brute_force_densest g psi in
           let r = CE.run g psi in
           Helpers.check_float
-            (Printf.sprintf "seed=%d h=%d vs brute force" seed h)
+            (Printf.sprintf "%s h=%d vs brute force" (Helpers.seed_ctx seed) h)
             opt r.CE.subgraph.D.density)
         [ 2; 3 ])
     seeded_graphs
@@ -96,7 +96,7 @@ let test_dinic_vs_edmonds_karp () =
     let fa = Dsd_flow.Dinic.max_flow a ~s ~t in
     let fb = Dsd_flow.Edmonds_karp.max_flow b ~s ~t in
     Alcotest.(check (float 1e-6))
-      (Printf.sprintf "seed=%d max flow" seed)
+      (Printf.sprintf "%s max flow" (Helpers.seed_ctx seed))
       fa fb
   done
 

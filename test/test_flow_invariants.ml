@@ -51,7 +51,7 @@ let test_conservation (_, max_flow) () =
         let e = excess net v in
         let expect = if v = s then value else if v = t then -.value else 0. in
         if Float.abs (e -. expect) > 1e-6 then
-          Alcotest.failf "seed=%d node=%d excess %f, expected %f" seed v e
+          Alcotest.failf "%s node=%d excess %f, expected %f" (Helpers.seed_ctx seed) v e
             expect
       done)
     seeds
@@ -65,7 +65,7 @@ let test_flow_equals_cut (_, max_flow) () =
       let side = Dsd_flow.Min_cut.source_side net ~s in
       Alcotest.(check bool) "t not on source side" false side.(t);
       Alcotest.(check (float 1e-6))
-        (Printf.sprintf "seed=%d flow = cut capacity" seed)
+        (Printf.sprintf "%s flow = cut capacity" (Helpers.seed_ctx seed))
         value
         (Dsd_flow.Min_cut.cut_capacity net side))
     seeds
@@ -77,7 +77,7 @@ let test_residual_never_negative (_, max_flow) () =
       ignore (max_flow net ~s:0 ~t:(n - 1));
       for e = 0 to F.arc_count net - 1 do
         if F.residual net e < -.F.eps then
-          Alcotest.failf "seed=%d arc=%d residual %g < -eps" seed e
+          Alcotest.failf "%s arc=%d residual %g < -eps" (Helpers.seed_ctx seed) e
             (F.residual net e)
       done)
     seeds
@@ -94,13 +94,13 @@ let test_reset_flow_bit_identical (_, max_flow) () =
       F.reset_flow net;
       for e = 0 to F.arc_count net - 1 do
         if Int64.bits_of_float (F.arc_cap net e) <> caps0.(e) then
-          Alcotest.failf "seed=%d arc=%d capacity changed" seed e;
+          Alcotest.failf "%s arc=%d capacity changed" (Helpers.seed_ctx seed) e;
         if F.arc_flow net e <> 0. then
-          Alcotest.failf "seed=%d arc=%d flow not zeroed" seed e
+          Alcotest.failf "%s arc=%d flow not zeroed" (Helpers.seed_ctx seed) e
       done;
       let v2 = max_flow net ~s:0 ~t:(n - 1) in
       Alcotest.(check (float 0.))
-        (Printf.sprintf "seed=%d re-solve identical" seed)
+        (Printf.sprintf "%s re-solve identical" (Helpers.seed_ctx seed))
         v1 v2)
     seeds
 

@@ -1,0 +1,96 @@
+(* Graph.Io robustness: malformed and messy edge lists.
+
+   The loader must either parse a line into exactly the edge it means
+   or fail loudly — a silent misparse (hex ids, sign prefixes, garbage
+   columns) corrupts every downstream density.  These tests pin both
+   directions: the mess it must tolerate (comments, CRLF, whitespace,
+   duplicates, self loops, numeric extra columns) and the corruption
+   it must reject. *)
+
+module G = Dsd_graph.Graph
+module Io = Dsd_graph.Io
+
+let accepts name data ~n ~m ~map =
+  Alcotest.test_case name `Quick (fun () ->
+      let g, got_map = Io.read_string data in
+      Alcotest.(check int) "n" n (G.n g);
+      Alcotest.(check int) "m" m (G.m g);
+      Alcotest.(check (array int)) "map" map got_map)
+
+let rejects name data =
+  Alcotest.test_case name `Quick (fun () ->
+      match Io.read_string data with
+      | exception Failure msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names the line (%s)" msg)
+          true
+          (String.length msg > 0)
+      | g, _ ->
+        Alcotest.failf "accepted malformed input %S as n=%d m=%d" data
+          (G.n g) (G.m g))
+
+let tolerated =
+  [
+    accepts "trailing comment after edge" "0 1 # weight comes later\n2 0\n"
+      ~n:3 ~m:2 ~map:[| 0; 1; 2 |];
+    accepts "comment-only and blank lines" "# header\n\n% konect\n   \n0 1\n"
+      ~n:2 ~m:1 ~map:[| 0; 1 |];
+    accepts "crlf endings" "0 1\r\n1 2\r\n" ~n:3 ~m:2 ~map:[| 0; 1; 2 |];
+    accepts "trailing and leading whitespace" "  0\t1   \n\t1 2\t\r\n" ~n:3
+      ~m:2 ~map:[| 0; 1; 2 |];
+    accepts "self loops dropped, vertex kept" "0 1\n4 4\n" ~n:3 ~m:1
+      ~map:[| 0; 1; 4 |];
+    accepts "duplicate and reversed edges collapse" "5 9\n9 5\n5 9\n" ~n:2
+      ~m:1 ~map:[| 5; 9 |];
+    accepts "numeric weight column ignored" "0 1 2.5\n1 2 -1e3\n" ~n:3 ~m:2
+      ~map:[| 0; 1; 2 |];
+    accepts "numeric timestamp columns ignored" "0 1 1 1234567\n" ~n:2 ~m:1
+      ~map:[| 0; 1 |];
+    accepts "empty input is the empty graph" "# nothing\n% at all\n" ~n:0
+      ~m:0 ~map:[||];
+    accepts "sparse ids compact in numeric order" "1000000000 7\n" ~n:2 ~m:1
+      ~map:[| 7; 1000000000 |];
+  ]
+
+let rejected =
+  [
+    rejects "single token" "42\n";
+    rejects "words" "hello world\n";
+    rejects "negative id" "0 -1\n";
+    rejects "plus-signed id" "+1 2\n";
+    (* int_of_string would happily read these two as 16 and 10. *)
+    rejects "hex id" "0x10 1\n";
+    rejects "underscore id" "1_0 2\n";
+    rejects "float id" "1.5 2\n";
+    rejects "id out of int range" "99999999999999999999999999 1\n";
+    rejects "garbage trailing column" "0 1 oops\n";
+  ]
+
+(* One subtlety worth pinning: '#' always starts a comment, even glued
+   to an id, so "2 3# x" truncates to "2 3". *)
+let glued_comment =
+  Alcotest.test_case "hash directly after id starts the comment" `Quick
+    (fun () ->
+      let g, map = Io.read_string "0 1\n2 3# tail\n" in
+      Alcotest.(check int) "n" 4 (G.n g);
+      Alcotest.(check int) "m" 2 (G.m g);
+      Alcotest.(check (array int)) "map" [| 0; 1; 2; 3 |] map)
+
+let roundtrip =
+  Alcotest.test_case "write/read roundtrip preserves edges through map"
+    `Quick (fun () ->
+      let g = Helpers.random_graph ~seed:31 ~max_n:30 ~max_m:90 () in
+      let path = Filename.temp_file "dsd_io" ".edges" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Dsd_graph.Io.write path g;
+          let g', map = Dsd_graph.Io.read path in
+          Alcotest.(check int) "m" (G.m g) (G.m g');
+          G.iter_edges g' ~f:(fun u v ->
+              Alcotest.(check bool)
+                (Printf.sprintf "edge %d-%d survives" map.(u) map.(v))
+                true
+                (G.mem_edge g map.(u) map.(v)))))
+
+let suite = tolerated @ rejected @ [ glued_comment; roundtrip ]

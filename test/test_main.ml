@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("graph", Test_graph.suite);
+      ("io", Test_io.suite);
       ("flow", Test_flow.suite);
       ("flow-invariants", Test_flow_invariants.suite);
       ("flow-retarget", Test_retarget.suite);
@@ -22,6 +23,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("parallel", Test_parallel_prop.suite);
       ("future-work", Test_future_work.suite);
+      ("metamorphic", Test_metamorphic.suite);
       ("ld-decomposition", Test_ld.suite);
       ("directed", Test_directed.suite);
     ]

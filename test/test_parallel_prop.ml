@@ -219,7 +219,7 @@ let test_decompose_vs_naive_oracle () =
             Pool.with_pool d (fun pool ->
                 let got = CC.decompose ~pool ~track_density:false g psi in
                 Alcotest.(check (array int))
-                  (Printf.sprintf "seed %d %s d=%d" seed psi.P.name d)
+                  (Printf.sprintf "%s %s d=%d" (Helpers.seed_ctx seed) psi.P.name d)
                   expected got.CC.core))
           domain_counts)
       [ P.edge; P.triangle ]

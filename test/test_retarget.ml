@@ -87,7 +87,7 @@ let test_differential_sequential () =
     let g = Helpers.random_graph ~seed ~max_n:12 ~max_m:28 () in
     List.iter
       (fun (pname, psi) ->
-        let label = Printf.sprintf "seed=%d psi=%s" seed pname in
+        let label = Printf.sprintf "%s psi=%s" (Helpers.seed_ctx seed) pname in
         let fresh = binary_search `Fresh g psi in
         let retarget = binary_search `Retarget g psi in
         check_same_trace label fresh retarget)
@@ -100,7 +100,7 @@ let test_differential_pooled () =
     let g = Helpers.random_graph ~seed ~max_n:12 ~max_m:28 () in
     List.iter
       (fun (pname, psi) ->
-        let label = Printf.sprintf "pooled seed=%d psi=%s" seed pname in
+        let label = Printf.sprintf "pooled %s psi=%s" (Helpers.seed_ctx seed) pname in
         (* Pooled retarget vs sequential fresh: the pool striping must
            not perturb the prepared arena either. *)
         let fresh = binary_search `Fresh g psi in
@@ -178,13 +178,13 @@ let test_core_exact_accounting () =
     in
     let iters = r.Dsd_core.Core_exact.stats.Dsd_core.Core_exact.iterations in
     Alcotest.(check int)
-      (Printf.sprintf "seed=%d: builds + retargets = iterations" seed)
+      (Printf.sprintf "%s: builds + retargets = iterations" (Helpers.seed_ctx seed))
       iters
       (builds () + retargets ());
     if iters > 1 then begin
       incr multi_iter;
       Alcotest.(check bool)
-        (Printf.sprintf "seed=%d: retargeting engaged" seed)
+        (Printf.sprintf "%s: retargeting engaged" (Helpers.seed_ctx seed))
         true (retargets () > 0)
     end
   done;

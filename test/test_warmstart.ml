@@ -120,7 +120,7 @@ let test_warm_vs_reset_differential () =
               List.iteri
                 (fun i ((rv, rside), (wv, wside)) ->
                   let label =
-                    Printf.sprintf "%s %s seed=%d step=%d" sname cname seed i
+                    Printf.sprintf "%s %s %s step=%d" sname cname (Helpers.seed_ctx seed) i
                   in
                   Alcotest.(check (float 1e-6))
                     (label ^ ": min-cut value") rv wv;
@@ -143,7 +143,7 @@ let test_entry_point_densities_bit_identical () =
       (fun (cname, psi, family) ->
         let w = Dsd_core.Exact.run ~warm:true ~family g psi in
         let c = Dsd_core.Exact.run ~warm:false ~family g psi in
-        let label = Printf.sprintf "Exact %s seed=%d" cname seed in
+        let label = Printf.sprintf "Exact %s %s" cname (Helpers.seed_ctx seed) in
         Alcotest.(check bool)
           (label ^ ": density bits") true
           (Int64.equal
@@ -157,7 +157,7 @@ let test_entry_point_densities_bit_identical () =
     let wq = Dsd_core.Core_exact.run ~warm:true g P.triangle in
     let cq = Dsd_core.Core_exact.run ~warm:false g P.triangle in
     Alcotest.(check bool)
-      (Printf.sprintf "CoreExact seed=%d: density bits" seed)
+      (Printf.sprintf "CoreExact %s: density bits" (Helpers.seed_ctx seed))
       true
       (Int64.equal
          (Int64.bits_of_float wq.Dsd_core.Core_exact.subgraph.Dsd_core.Density.density)
@@ -244,7 +244,7 @@ let test_warm_accounting_core_exact () =
           r.Dsd_core.Core_exact.stats.Dsd_core.Core_exact.iterations
         in
         check_warm_accounting
-          (Printf.sprintf "CoreExact seed=%d" seed)
+          (Printf.sprintf "CoreExact %s" (Helpers.seed_ctx seed))
           ~iterations ~warm
       done)
     [ true; false ]
@@ -294,7 +294,7 @@ let test_warm_never_more_augmentations () =
     in
     let reset = aug false and warm = aug true in
     Alcotest.(check bool)
-      (Printf.sprintf "seed=%d: warm (%d) <= reset (%d)" seed warm reset)
+      (Printf.sprintf "%s: warm (%d) <= reset (%d)" (Helpers.seed_ctx seed) warm reset)
       true (warm <= reset)
   done
 

@@ -1,7 +1,8 @@
 # Convenience targets; CI should run `make check`.
 
-.PHONY: all build test test-flow test-warmstart test-metamorphic fuzz-smoke \
-	coverage fmt check bench-phases bench-retarget bench-warmstart clean
+.PHONY: all build test test-flow test-warmstart test-metamorphic test-serve \
+	fuzz-smoke coverage fmt check bench-phases bench-retarget \
+	bench-warmstart bench-serve clean
 
 all: build
 
@@ -28,6 +29,12 @@ test-warmstart:
 # shrinker, reproducers, mutation self-tests).
 test-metamorphic:
 	dune exec test/test_main.exe -- test metamorphic
+
+# The serving suite on its own: snapshot round trips, the LRU model,
+# cache accounting, the live-socket differential corpus and the
+# protocol fault injection.
+test-serve:
+	dune exec test/test_main.exe -- test serve
 
 # A real fuzzing burst: fresh random cases against every relation,
 # bounded by wall clock so `make check` stays fast.  Uses an
@@ -57,15 +64,18 @@ fmt:
 	fi
 
 # fmt runs first so a formatting failure is reported before the long
-# build/test/bench steps.  The warmstart smoke run also feeds the
-# compare gate: warm-started probes must never need more augmenting
-# paths than reset probes.
+# build/test/bench steps.  The warmstart smoke run feeds the compare
+# gate (warm-started probes must never need more augmenting paths than
+# reset probes); the serve smoke run feeds the cached-latency gate (a
+# repeated identical request must be >= 5x faster than the cold one).
 check:
 	$(MAKE) fmt
 	dune build @default @runtest
+	$(MAKE) test-serve
 	$(MAKE) fuzz-smoke
-	dune exec bench/main.exe -- --only parallel,retarget,warmstart --smoke
+	dune exec bench/main.exe -- --only parallel,retarget,warmstart,serve --smoke
 	dune exec bench/compare.exe -- BENCH_warmstart.json
+	dune exec bench/compare.exe -- BENCH_serve.json
 
 # Per-phase observability breakdown (Dsd_obs spans/counters).
 bench-phases:
@@ -80,6 +90,12 @@ bench-retarget:
 bench-warmstart:
 	dune exec bench/main.exe -- --only warmstart
 	dune exec bench/compare.exe -- BENCH_warmstart.json
+
+# Cold vs prepared vs cached request latency over a live socket
+# (writes BENCH_serve.json), then the >= 5x cached-latency gate.
+bench-serve:
+	dune exec bench/main.exe -- --only serve
+	dune exec bench/compare.exe -- BENCH_serve.json
 
 clean:
 	dune clean

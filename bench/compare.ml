@@ -1,13 +1,18 @@
-(* Regression gate over BENCH_warmstart.json: warm-started probes must
-   never need more augmenting paths than reset probes — if they do, the
-   feasibility repair is leaving the residual network in a worse state
-   than a cold start, which defeats the whole optimisation.  The file
-   is the hand-formatted JSON the bench harness writes (one row object
-   per line), so a line scanner is enough; no JSON library needed.
+(* Regression gates over the bench harness's JSON outputs.  The files
+   are hand-formatted (one row object per line), so a line scanner is
+   enough; no JSON library needed.
+
+   - BENCH_warmstart.json rows: warm-started probes must never need
+     more augmenting paths than reset probes — if they do, the
+     feasibility repair is leaving the residual network in a worse
+     state than a cold start, which defeats the whole optimisation.
+   - BENCH_serve.json rows: a repeated identical request must be
+     answered at least 5x faster from the result LRU than the cold
+     solve — the serving layer's reason to exist.
 
    Usage: compare [FILE]   (default BENCH_warmstart.json)
-   Exits 0 when every row satisfies warm <= reset, 1 otherwise (or when
-   the file is missing/contains no rows). *)
+   Exits 0 when every row satisfies its gate, 1 otherwise (or when the
+   file is missing/contains no gateable rows). *)
 
 let read_lines path =
   let ic = open_in path in
@@ -42,6 +47,29 @@ let int_field line key =
     if !stop = start then None
     else int_of_string_opt (String.sub line start (!stop - start))
 
+let float_field line key =
+  let needle = Printf.sprintf "\"%s\": " key in
+  let nlen = String.length needle and llen = String.length line in
+  let rec find i =
+    if i + nlen > llen then None
+    else if String.sub line i nlen = needle then Some (i + nlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < llen
+      && (match line.[!stop] with
+          | '0' .. '9' | '-' | '.' | 'e' | '+' -> true
+          | _ -> false)
+    do
+      incr stop
+    done;
+    if !stop = start then None
+    else float_of_string_opt (String.sub line start (!stop - start))
+
 let str_field line key =
   let needle = Printf.sprintf "\"%s\": \"" key in
   let nlen = String.length needle and llen = String.length line in
@@ -66,6 +94,7 @@ let () =
     exit 1
   end;
   let rows = ref 0 and bad = ref 0 in
+  let min_cached_speedup = 5.0 in
   List.iter
     (fun line ->
       match
@@ -87,14 +116,30 @@ let () =
           Printf.printf "ok   %-24s warm %6d <= reset %6d  (%.1fx)\n" label
             warm reset
             (if warm > 0 then float_of_int reset /. float_of_int warm else 0.)
-      | _ -> ())
+      | _ -> (
+        match float_field line "cached_speedup" with
+        | Some speedup ->
+          incr rows;
+          let label =
+            Printf.sprintf "%s/%s"
+              (Option.value (str_field line "dataset") ~default:"?")
+              (Option.value (str_field line "endpoint") ~default:"?")
+          in
+          if speedup < min_cached_speedup then begin
+            incr bad;
+            Printf.printf "FAIL %-32s cached only %.1fx faster (< %.0fx)\n"
+              label speedup min_cached_speedup
+          end
+          else
+            Printf.printf "ok   %-32s cached %8.1fx faster\n" label speedup
+        | None -> ()))
     (read_lines path);
   if !rows = 0 then begin
-    Printf.eprintf "compare: no warmstart rows in %s\n" path;
+    Printf.eprintf "compare: no gateable rows in %s\n" path;
     exit 1
   end;
   if !bad > 0 then begin
     Printf.printf "%d/%d rows regressed\n" !bad !rows;
     exit 1
   end;
-  Printf.printf "all %d rows: warm never exceeds reset\n" !rows
+  Printf.printf "all %d rows pass their gate\n" !rows

@@ -1217,6 +1217,108 @@ let warmstart () =
   close_out oc;
   print_endline "\nwrote BENCH_warmstart.json"
 
+(* ---- serve: hot-result cache latency over a real socket (BENCH_serve.json) ---- *)
+
+(* What the serving layer's caches buy for a repeated request.  An
+   in-process `dsd serve` daemon is started on a Unix-domain socket;
+   each endpoint is asked the same question three times over the wire:
+
+   - cold: nothing prepared — pays enumeration / decomposition /
+     network construction plus the solve;
+   - prepared: the result LRU is cleared but the per-(graph, psi)
+     prepared state (instances, decomposition, Exact's flow arena)
+     survives — what a *similar* request pays;
+   - cached: the identical request again — answered from the result
+     LRU without touching a solver.
+
+   All three answers are bit-identical (the differential suite and the
+   serve-equals-api relation pin that); this measures only latency.
+   bench/compare.ml gates cached_speedup >= 5 on the JSON. *)
+let serve () =
+  let smoke = !H.smoke in
+  H.section
+    (Printf.sprintf
+       "Serve — cold vs prepared vs cached request latency%s"
+       (if smoke then " [smoke]" else ""));
+  let datasets =
+    if smoke then [ "yeast" ] else [ "yeast"; "netscience"; "as733"; "ca_hepth" ]
+  in
+  let endpoints name =
+    [ ("density/coreexact",
+       Dsd_serve.Protocol.Density
+         { graph = name; psi = "triangle"; algorithm = "coreexact" });
+      ("cds/exact",
+       Dsd_serve.Protocol.Cds
+         { graph = name; psi = "triangle"; algorithm = "exact" });
+      ("decompose",
+       Dsd_serve.Protocol.Decompose { graph = name; psi = "triangle" }) ]
+  in
+  let json_rows = ref [] in
+  List.iter
+    (fun name ->
+      let g = dataset name in
+      Printf.printf "\n[%s]  n=%d m=%d\n" name (G.n g) (G.m g);
+      let socket =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "dsd-bench-%d.sock" (Unix.getpid ()))
+      in
+      let addr = Dsd_serve.Server.Unix_domain socket in
+      let rows =
+        List.map
+          (fun (endpoint, req) ->
+            (* A fresh daemon per endpoint so "cold" really is cold:
+               no prepared state left over from the previous row. *)
+            let state = Dsd_serve.State.create ~max_cached:64 [ (name, g) ] in
+            let server = Dsd_serve.Server.start ~state addr in
+            let client = Dsd_serve.Client.connect addr in
+            let ask () =
+              snd (H.timed (fun () ->
+                  ignore (Dsd_serve.Client.call client req)))
+            in
+            let cold = ask () in
+            (* second identical request: straight from the result LRU *)
+            let cached = ask () in
+            (* median of repeats for a stable cached figure *)
+            let reps = if smoke then 3 else 9 in
+            let samples = Array.init reps (fun _ -> ask ()) in
+            Array.sort compare samples;
+            let cached = min cached samples.(reps / 2) in
+            (* same question to a cleared LRU: prepared state only *)
+            Dsd_serve.State.clear_results state;
+            let prepared = ask () in
+            Dsd_serve.Client.close client;
+            ignore (Dsd_serve.Client.once addr Dsd_serve.Protocol.Shutdown);
+            Dsd_serve.Server.join server;
+            let speedup a b = if b > 0. then a /. b else infinity in
+            json_rows :=
+              Printf.sprintf
+                "    {\"dataset\": \"%s\", \"endpoint\": \"%s\", \
+                 \"cold_s\": %.6f, \"prepared_s\": %.6f, \"cached_s\": %.6f, \
+                 \"prepared_speedup\": %.3f, \"cached_speedup\": %.3f}"
+                name endpoint cold prepared cached
+                (speedup cold prepared) (speedup cold cached)
+              :: !json_rows;
+            [ endpoint;
+              Printf.sprintf "%.4fs" cold;
+              Printf.sprintf "%.4fs" prepared;
+              Printf.sprintf "%.6fs" cached;
+              Printf.sprintf "%.1fx" (speedup cold prepared);
+              Printf.sprintf "%.1fx" (speedup cold cached) ])
+          (endpoints name)
+      in
+      H.table
+        ~header:
+          [ "endpoint"; "cold"; "prepared"; "cached"; "prep spd"; "cache spd" ]
+        ~rows)
+    datasets;
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"serve\",\n  \"smoke\": %b,\n  \"rows\": [\n%s\n  ]\n}\n"
+    smoke
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  print_endline "\nwrote BENCH_serve.json"
+
 (* ---- registry ---- *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -1246,6 +1348,7 @@ let all : (string * string * (unit -> unit)) list =
     ("parallel", "domain-pool speedup vs domains (BENCH_parallel.json)", parallel);
     ("retarget", "flow-network builds vs re-alphas (BENCH_retarget.json)", retarget);
     ("warmstart", "warm vs reset flow retargeting (BENCH_warmstart.json)", warmstart);
+    ("serve", "cold vs prepared vs cached request latency (BENCH_serve.json)", serve);
     ("ext_truss", "extension: truss vs CDS", ext_truss);
     ("ext_sampled", "future work: sampled approximation", ext_sampled);
     ("ext_atleastk", "future work: densest-at-least-k", ext_atleastk);

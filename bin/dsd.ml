@@ -25,9 +25,15 @@ let or_die f =
     Printf.eprintf "dsd: %s\n" msg;
     exit 2
 
+(* --input accepts both formats transparently: binary CSR snapshots
+   (sniffed by magic, loaded without re-parsing) and text edge lists. *)
+let read_graph_file path =
+  if Dsd_serve.Snapshot.is_snapshot path then Dsd_serve.Snapshot.load path
+  else fst (Dsd_graph.Io.read path)
+
 let load_graph file dataset =
   match (file, dataset) with
-  | Some path, None -> fst (Dsd_graph.Io.read path)
+  | Some path, None -> read_graph_file path
   | None, Some name ->
     if not (Dsd_data.Datasets.mem name) then begin
       Printf.eprintf "unknown dataset %s; known: %s\n" name
@@ -41,21 +47,10 @@ let load_graph file dataset =
     exit 2
 
 let pattern_of_string s =
-  match String.lowercase_ascii s with
-  | "edge" | "2-clique" -> P.edge
-  | "triangle" | "3-clique" -> P.triangle
-  | "4-clique" -> P.clique 4
-  | "5-clique" -> P.clique 5
-  | "6-clique" -> P.clique 6
-  | "2-star" -> P.star 2
-  | "3-star" -> P.star 3
-  | "c3-star" | "paw" -> P.c3_star
-  | "diamond" | "c4" -> P.diamond
-  | "2-triangle" -> P.two_triangle
-  | "3-triangle" -> P.three_triangle
-  | "basket" | "house" -> P.basket
-  | other ->
-    Printf.eprintf "unknown pattern %s (see 'dsd patterns')\n" other;
+  match P.of_string s with
+  | Some psi -> psi
+  | None ->
+    Printf.eprintf "unknown pattern %s (see 'dsd patterns')\n" s;
     exit 2
 
 (* ---- common options ---- *)
@@ -415,6 +410,225 @@ let fuzz =
     C.Term.(const run $ cases $ seed $ budget $ relation $ list_relations
             $ out $ replay)
 
+(* ---- snapshot ---- *)
+
+let snapshot =
+  let build =
+    let output =
+      C.Arg.(required & pos 0 (some string) None
+             & info [] ~docv:"OUT" ~doc:"Snapshot file to write.")
+    in
+    let run input dataset output =
+      let g = load_graph input dataset in
+      let bytes = Dsd_serve.Snapshot.write output g in
+      Printf.printf "wrote %s: %d vertices, %d edges, %d bytes\n" output
+        (G.n g) (G.m g) bytes
+    in
+    let run a b c = or_die (fun () -> run a b c) in
+    C.Cmd.v
+      (C.Cmd.info "build"
+         ~doc:"Convert a graph to a binary CSR snapshot (instant loads).")
+      C.Term.(const run $ input_arg $ dataset_arg $ output)
+  in
+  let info_cmd =
+    let file =
+      C.Arg.(required & pos 0 (some string) None
+             & info [] ~docv:"FILE" ~doc:"Snapshot file to inspect.")
+    in
+    let run file =
+      let i = Dsd_serve.Snapshot.info file in
+      Printf.printf "version    %d\n" i.Dsd_serve.Snapshot.info_version;
+      Printf.printf "vertices   %d\n" i.Dsd_serve.Snapshot.n;
+      Printf.printf "edges      %d\n" i.Dsd_serve.Snapshot.m;
+      Printf.printf "bytes      %d\n" i.Dsd_serve.Snapshot.bytes
+    in
+    let run a = or_die (fun () -> run a) in
+    C.Cmd.v
+      (C.Cmd.info "info" ~doc:"Print a snapshot's header.")
+      C.Term.(const run $ file)
+  in
+  C.Cmd.group
+    (C.Cmd.info "snapshot" ~doc:"Binary CSR snapshots for the serving layer.")
+    [ build; info_cmd ]
+
+(* ---- serve / client ---- *)
+
+let socket_arg =
+  C.Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_arg =
+  C.Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"PORT" ~doc:"TCP port.")
+
+let host_arg =
+  C.Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"HOST"
+             ~doc:"TCP host to bind/connect (with --port).")
+
+let address socket port host =
+  match (socket, port) with
+  | Some path, None -> Dsd_serve.Server.Unix_domain path
+  | None, Some port -> Dsd_serve.Server.Tcp { host; port }
+  | _ ->
+    prerr_endline "exactly one of --socket or --port is required";
+    exit 2
+
+let serve =
+  let graphs =
+    C.Arg.(value & opt_all string []
+           & info [ "g"; "graph" ] ~docv:"NAME=FILE"
+               ~doc:"Serve graph $(b,FILE) (edge list or snapshot) under \
+                     $(b,NAME).  Repeatable.")
+  in
+  let datasets =
+    C.Arg.(value & opt_all string []
+           & info [ "dataset" ] ~docv:"NAME"
+               ~doc:"Also serve a built-in synthetic dataset.  Repeatable.")
+  in
+  let max_cached =
+    C.Arg.(value & opt int 64
+           & info [ "max-cached" ] ~docv:"N"
+               ~doc:"Result-LRU capacity: hot (graph, psi, algorithm, query) \
+                     responses answered without touching a solver.")
+  in
+  let timeout =
+    C.Arg.(value & opt float 30.
+           & info [ "receive-timeout" ] ~docv:"SECS"
+               ~doc:"Disconnect a peer that sends nothing for $(docv).")
+  in
+  let run socket port host graphs datasets max_cached timeout domains =
+    if max_cached < 0 then begin
+      prerr_endline "dsd: --max-cached must be >= 0";
+      exit 2
+    end;
+    let named =
+      List.map
+        (fun spec ->
+          match String.index_opt spec '=' with
+          | Some i ->
+            let name = String.sub spec 0 i in
+            let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+            if name = "" || path = "" then begin
+              Printf.eprintf "dsd: --graph expects NAME=FILE, got %s\n" spec;
+              exit 2
+            end;
+            (name, read_graph_file path)
+          | None ->
+            Printf.eprintf "dsd: --graph expects NAME=FILE, got %s\n" spec;
+            exit 2)
+        graphs
+      @ List.map
+          (fun name ->
+            if not (Dsd_data.Datasets.mem name) then begin
+              Printf.eprintf "unknown dataset %s\n" name;
+              exit 2
+            end;
+            (name, Dsd_data.Datasets.graph name))
+          datasets
+    in
+    if named = [] then begin
+      prerr_endline "dsd serve: at least one --graph or --dataset is required";
+      exit 2
+    end;
+    let addr = address socket port host in
+    (* Counters (serve_* and solver) accumulate for the stats endpoint
+       for as long as the daemon lives. *)
+    Dsd_obs.Control.enable ();
+    with_domains domains (fun pool ->
+        let state =
+          Dsd_serve.State.create ~pool ~max_cached:max_cached named
+        in
+        List.iter
+          (fun (name, g) ->
+            Printf.printf "serving %-12s n=%d m=%d\n%!" name (G.n g) (G.m g))
+          (Dsd_serve.State.graphs state);
+        Dsd_serve.Server.run ~receive_timeout_s:timeout ~state addr)
+  in
+  let run a b c d e f g h = or_die (fun () -> run a b c d e f g h) in
+  C.Cmd.v
+    (C.Cmd.info "serve"
+       ~doc:"Long-lived serving daemon: graphs loaded once, prepared state \
+             and hot results cached, requests over a Unix/TCP socket.")
+    C.Term.(const run $ socket_arg $ port_arg $ host_arg $ graphs $ datasets
+            $ max_cached $ timeout $ domains_arg)
+
+let client =
+  let words =
+    C.Arg.(non_empty & pos_all string []
+           & info [] ~docv:"COMMAND"
+               ~doc:"ping | stats | density GRAPH PSI [ALGO] | cds GRAPH PSI \
+                     [ALGO] | decompose GRAPH PSI | query GRAPH PSI VERTEX... \
+                     | shutdown")
+  in
+  let parse_vertices vs =
+    List.map
+      (fun s ->
+        match int_of_string_opt s with
+        | Some v -> v
+        | None ->
+          Printf.eprintf "dsd client: bad vertex %s\n" s;
+          exit 2)
+      vs
+  in
+  let request_of_words = function
+    | [ "ping" ] -> Dsd_serve.Protocol.Ping
+    | [ "stats" ] -> Dsd_serve.Protocol.Stats
+    | [ "shutdown" ] -> Dsd_serve.Protocol.Shutdown
+    | [ "density"; graph; psi ] ->
+      Dsd_serve.Protocol.Density { graph; psi; algorithm = "coreexact" }
+    | [ "density"; graph; psi; algorithm ] ->
+      Dsd_serve.Protocol.Density { graph; psi; algorithm }
+    | [ "cds"; graph; psi ] ->
+      Dsd_serve.Protocol.Cds { graph; psi; algorithm = "coreexact" }
+    | [ "cds"; graph; psi; algorithm ] ->
+      Dsd_serve.Protocol.Cds { graph; psi; algorithm }
+    | [ "decompose"; graph; psi ] -> Dsd_serve.Protocol.Decompose { graph; psi }
+    | "query" :: graph :: psi :: (_ :: _ as vs) ->
+      Dsd_serve.Protocol.Query
+        { graph; psi; vertices = Array.of_list (parse_vertices vs) }
+    | words ->
+      Printf.eprintf "dsd client: bad command '%s'\n" (String.concat " " words);
+      exit 2
+  in
+  let print_response (resp : Dsd_serve.Protocol.response) =
+    match resp with
+    | Pong -> print_endline "pong"
+    | Shutdown_r -> print_endline "shutting down"
+    | Density_r rho -> Printf.printf "density    %.6f\n" rho
+    | Cds_r { density; vertices } | Query_r { density; vertices } ->
+      Printf.printf "density    %.6f\n" density;
+      Printf.printf "vertices   %d\n" (Array.length vertices);
+      Array.iter (Printf.printf "%d ") vertices;
+      print_newline ()
+    | Decompose_r { kmax; core } ->
+      Printf.printf "kmax = %d\n" kmax;
+      Printf.printf "vertices   %d\n" (Array.length core)
+    | Stats_r { counters; cache; graphs } ->
+      List.iter (fun line -> Printf.printf "graph      %s\n" line) graphs;
+      List.iter (fun (k, v) -> Printf.printf "cache.%-20s %8d\n" k v) cache;
+      List.iter
+        (fun (k, v) -> if v <> 0 then Printf.printf "%-26s %8d\n" k v)
+        counters
+    | Error_r msg ->
+      Printf.eprintf "dsd client: server error: %s\n" msg;
+      exit 1
+  in
+  let run socket port host words =
+    let addr = address socket port host in
+    let req = request_of_words words in
+    match Dsd_serve.Client.once addr req with
+    | resp -> print_response resp
+    | exception Dsd_serve.Protocol.Error msg ->
+      Printf.eprintf "dsd client: %s\n" msg;
+      exit 1
+  in
+  let run a b c d = or_die (fun () -> run a b c d) in
+  C.Cmd.v
+    (C.Cmd.info "client"
+       ~doc:"Send one request to a running `dsd serve` daemon.")
+    C.Term.(const run $ socket_arg $ port_arg $ host_arg $ words)
+
 (* ---- truss ---- *)
 
 let truss =
@@ -464,4 +678,5 @@ let () =
   exit
     (C.Cmd.eval
        (C.Cmd.group info
-          [ generate; stats; decompose; cds; query; fuzz; truss; patterns ]))
+          [ generate; stats; decompose; cds; query; fuzz; truss; patterns;
+            snapshot; serve; client ]))

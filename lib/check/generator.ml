@@ -98,6 +98,63 @@ let sparse =
 
 let all = [ gnp; chung_lu; union_of_gnp; planted_block; sparse ]
 
+(* ---- malformed wire frames for the serve fault-injection tests ----
+
+   Each sample is (label, bytes) where the bytes are NOT a well-formed
+   protocol frame: the server must answer with a structured error or
+   close the connection, never crash or hang.  Built by hand rather
+   than via Dsd_serve.Protocol so a codec bug cannot accidentally
+   "agree" with its own corruption. *)
+
+let frame_of ~len payload =
+  let b = Buffer.create (4 + String.length payload) in
+  Buffer.add_uint8 b ((len lsr 24) land 0xff);
+  Buffer.add_uint8 b ((len lsr 16) land 0xff);
+  Buffer.add_uint8 b ((len lsr 8) land 0xff);
+  Buffer.add_uint8 b (len land 0xff);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let random_bytes rng n = String.init n (fun _ -> Char.chr (Prng.int rng 256))
+
+let malformed_frame rng =
+  match Prng.int rng 7 with
+  | 0 ->
+    (* header cut short: fewer than the 4 length bytes *)
+    ("truncated-header", random_bytes rng (1 + Prng.int rng 3))
+  | 1 ->
+    (* announces more body than it sends *)
+    let sent = Prng.int rng 8 in
+    ("truncated-body", frame_of ~len:(sent + 2 + Prng.int rng 64)
+                         (random_bytes rng sent))
+  | 2 ->
+    (* length prefix far beyond max_frame *)
+    ("oversized-length",
+     frame_of ~len:(0x4000_0000 lor Prng.int rng 0x3fff_ffff) "")
+  | 3 ->
+    (* too short to even hold version + tag *)
+    ("undersized-length", frame_of ~len:(Prng.int rng 2)
+                            (random_bytes rng (Prng.int rng 2)))
+  | 4 ->
+    (* well-formed frame, wrong protocol version *)
+    let body = random_bytes rng (Prng.int rng 16) in
+    let version = Char.chr (2 + Prng.int rng 250) in
+    ("bad-version",
+     frame_of ~len:(2 + String.length body)
+       (Printf.sprintf "%c%c%s" version (Char.chr (Prng.int rng 256)) body))
+  | 5 ->
+    (* correct version, unknown request tag *)
+    let body = random_bytes rng (Prng.int rng 16) in
+    ("unknown-tag",
+     frame_of ~len:(2 + String.length body)
+       (Printf.sprintf "\x01%c%s" (Char.chr (0x60 + Prng.int rng 0x1f)) body))
+  | _ ->
+    (* correct version + tag, garbage body *)
+    let body = random_bytes rng (1 + Prng.int rng 32) in
+    ("garbage-body",
+     frame_of ~len:(2 + String.length body)
+       (Printf.sprintf "\x01%c%s" (Char.chr (3 + Prng.int rng 4)) body))
+
 let sample rng =
   let gen = List.nth all (Prng.int rng (List.length all)) in
   gen.sample rng

@@ -53,3 +53,11 @@ val sample : Dsd_util.Prng.t -> case
 
 (** [pp_case] for qcheck/alcotest diagnostics. *)
 val pp_case : Format.formatter -> case -> unit
+
+(** [malformed_frame rng] is [(label, bytes)] where [bytes] is a
+    deliberately broken serve-protocol frame — truncated header or
+    body, oversized or undersized length prefix, wrong version,
+    unknown tag, or garbage body.  Built by hand, independently of
+    {!Dsd_serve.Protocol}, so the fault-injection tests cannot be
+    fooled by a codec that "agrees" with its own corruption. *)
+val malformed_frame : Dsd_util.Prng.t -> string * string

@@ -289,6 +289,120 @@ let planted_certificate =
               r witness (Array.length vs)
           else Pass) }
 
+(* ---- the serving layer answers exactly what the API answers ----
+
+   Every case's graph is registered in a fresh server State; each
+   endpoint request is round-tripped through the wire codec
+   (encode_request / decode_request, encode_response / decode_response
+   — floats travel as IEEE-754 bits) and dispatched via State.handle,
+   then compared bit-identically against a direct library call.  Each
+   request is issued twice so the second answer comes from the result
+   LRU: the cache must be invisible. *)
+
+let serve_equals_api =
+  let module Sv = Dsd_serve.State in
+  let module Pr = Dsd_serve.Protocol in
+  let roundtrip state req =
+    let tag, body = Pr.encode_request req in
+    let req = Pr.decode_request tag body in
+    let resp = Sv.handle state req in
+    let rtag, rbody = Pr.encode_response resp in
+    Pr.decode_response rtag rbody
+  in
+  let same_subgraph name (resp : Pr.response) (sg : Dsd_core.Density.subgraph) =
+    match resp with
+    | Density_r d when d = sg.density -> None
+    | Cds_r { density; vertices } | Query_r { density; vertices } ->
+      if density <> sg.density then
+        Some
+          (Printf.sprintf "%s: served density %.17g <> api %.17g" name density
+             sg.density)
+      else if vertices <> sg.vertices then
+        Some (Printf.sprintf "%s: served vertex set differs from api" name)
+      else None
+    | Density_r d ->
+      Some
+        (Printf.sprintf "%s: served density %.17g <> api %.17g" name d
+           sg.density)
+    | Error_r msg -> Some (Printf.sprintf "%s: served error: %s" name msg)
+    | _ -> Some (Printf.sprintf "%s: unexpected response kind" name)
+  in
+  { name = "serve-equals-api";
+    check =
+      (fun subject ~rng (c : Generator.case) ->
+        let state = Sv.create ~max_cached:8 [ ("g", c.graph) ] in
+        let psi = c.psi.P.name in
+        let twice name req expect =
+          (* cold solve, then the LRU hit: both must match the API *)
+          match same_subgraph name (roundtrip state req) expect with
+          | Some _ as bad -> bad
+          | None ->
+            Option.map
+              (fun msg -> "cached " ^ msg)
+              (same_subgraph name (roundtrip state req) expect)
+        in
+        let density_reqs =
+          [ ("exact", fun () -> subject.Subject.exact c.graph c.psi);
+            ("coreexact", fun () -> subject.Subject.core_exact c.graph c.psi);
+            ("peel", fun () -> subject.Subject.peel c.graph c.psi);
+            ("incapp", fun () -> subject.Subject.inc_app c.graph c.psi);
+            ("coreapp", fun () -> subject.Subject.core_app c.graph c.psi);
+          ]
+        in
+        let bad =
+          List.filter_map
+            (fun (algorithm, api) ->
+              let expect = api () in
+              match
+                twice ("density/" ^ algorithm)
+                  (Pr.Density { graph = "g"; psi; algorithm })
+                  expect
+              with
+              | Some _ as bad -> bad
+              | None ->
+                twice ("cds/" ^ algorithm)
+                  (Pr.Cds { graph = "g"; psi; algorithm })
+                  expect)
+            density_reqs
+        in
+        let bad =
+          match
+            roundtrip state (Pr.Decompose { graph = "g"; psi })
+          with
+          | Pr.Decompose_r { kmax; core } ->
+            let api_core = subject.Subject.core_numbers c.graph c.psi in
+            let api_kmax = Subject.kmax subject c.graph c.psi in
+            if core <> api_core then
+              "decompose: served core numbers differ from api" :: bad
+            else if kmax <> api_kmax then
+              Printf.sprintf "decompose: served kmax %d <> api %d" kmax
+                api_kmax
+              :: bad
+            else bad
+          | Pr.Error_r msg -> ("decompose: served error: " ^ msg) :: bad
+          | _ -> "decompose: unexpected response kind" :: bad
+        in
+        let bad =
+          if G.n c.graph = 0 then bad
+          else begin
+            let q = [| Prng.int rng (G.n c.graph) |] in
+            let api =
+              (Dsd_core.Query_dsd.run c.graph c.psi ~query:q)
+                .Dsd_core.Query_dsd.subgraph
+            in
+            match
+              twice "query"
+                (Pr.Query { graph = "g"; psi; vertices = q })
+                api
+            with
+            | Some msg -> msg :: bad
+            | None -> bad
+          end
+        in
+        match bad with
+        | [] -> Pass
+        | msgs -> Fail (String.concat "; " msgs)) }
+
 let all =
   [ theorem1_bounds;
     approx_ratio;
@@ -299,6 +413,7 @@ let all =
     pool_width;
     exact_vs_brute;
     planted_certificate;
+    serve_equals_api;
   ]
 
 let find name = List.find_opt (fun r -> r.name = name) all

@@ -22,7 +22,7 @@ type result = {
 let safe_ceil = Dsd_util.Float_guard.safe_ceil
 
 let run ?pool ?(warm = true) ?(prunings = all_prunings) ?(grouped = false)
-    ?family g psi =
+    ?family ?decomp g psi =
   Dsd_obs.Span.with_ Dsd_obs.Phase.core_exact @@ fun () ->
   let t0 = Dsd_util.Timer.now_s () in
   let p = psi.Dsd_pattern.Pattern.size in
@@ -35,9 +35,21 @@ let run ?pool ?(warm = true) ?(prunings = all_prunings) ?(grouped = false)
   let network_nodes = ref [] in
   let flow_span = Dsd_util.Timer.Span.create () in
   (* ---- Step 1: (k, Psi)-core decomposition, tracking rho' ---- *)
+  (* A caller-supplied decomposition (the serving layer's prepared-state
+     cache) replaces the expensive step when it carries the density
+     tracking Pruning1 reads; one that lacks it is recomputed rather
+     than trusted, so results never depend on how the cache was
+     populated. *)
   let decomp, decompose_s =
-    Dsd_util.Timer.time (fun () ->
-        Clique_core.decompose ?pool ~track_density:prunings.p1 g psi)
+    match decomp with
+    | Some d
+      when (not prunings.p1)
+           || Array.length d.Clique_core.residual_densities > 0
+           || d.Clique_core.mu_total = 0 ->
+      (d, 0.)
+    | _ ->
+      Dsd_util.Timer.time (fun () ->
+          Clique_core.decompose ?pool ~track_density:prunings.p1 g psi)
   in
   let kmax = decomp.Clique_core.kmax in
   let finish best =

@@ -47,11 +47,21 @@ type result = {
     the network construction ([~grouped] only affects the automatic
     choice for non-clique patterns).  [warm] (default [true]) carries
     flow across probes within a component's prepared network; a
-    Pruning-3 shrink still rebuilds from scratch. *)
+    Pruning-3 shrink still rebuilds from scratch.
+
+    [?decomp] supplies a (k, Psi)-core decomposition of [g] w.r.t.
+    [psi] computed earlier (the serving layer's prepared-state cache),
+    skipping Step 1.  It is used only when it carries the density
+    tracking the active prunings need ([Clique_core.decompose
+    ~track_density:true], or any decomposition when Pruning1 is off or
+    the graph has no instances); otherwise it is recomputed, so results
+    are bit-identical with or without the hook.  [stats.decompose_s] is
+    0 when the cached decomposition is used. *)
 val run :
   ?pool:Dsd_util.Pool.t ->
   ?warm:bool ->
   ?prunings:prunings ->
   ?grouped:bool ->
   ?family:Flow_build.family ->
+  ?decomp:Clique_core.t ->
   Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> result

@@ -12,7 +12,7 @@ type result = {
   stats : stats;
 }
 
-let run ?pool ?(warm = true) ?family g psi =
+let run ?pool ?(warm = true) ?family ?instances ?prepared g psi =
   Dsd_obs.Span.with_ Dsd_obs.Phase.exact @@ fun () ->
   let t0 = Dsd_util.Timer.now_s () in
   let n = G.n g in
@@ -22,9 +22,10 @@ let run ?pool ?(warm = true) ?family g psi =
     | None -> Flow_build.auto_family psi ~grouped:false
   in
   let instances =
-    match family with
-    | Flow_build.Eds -> [||]   (* the EDS network needs no instance list *)
-    | _ -> Enumerate.instances ?pool g psi
+    match (family, instances) with
+    | Flow_build.Eds, _ -> [||]  (* the EDS network needs no instance list *)
+    | _, Some i -> i             (* enumerated once by a caller that repeats *)
+    | _, None -> Enumerate.instances ?pool g psi
   in
   let max_deg =
     match family with
@@ -55,8 +56,17 @@ let run ?pool ?(warm = true) ?family g psi =
     let iterations = ref 0 in
     let last_nodes = ref 0 in
     (* The network topology is alpha-invariant: build the arena once on
-       the first iteration, then only re-point the alpha arcs. *)
-    let prepared = ref None in
+       the first iteration, then only re-point the alpha arcs.  A
+       caller-owned [?prepared] slot survives this call, so a server
+       answering the same (g, psi) twice pays the build exactly once
+       and every later search is pure retargets (warm-started from
+       whatever flow the previous search left committed — the min-cut
+       source side is unique, so results are unchanged). *)
+    let prepared =
+      match prepared with
+      | Some slot -> slot
+      | None -> ref None
+    in
     while !u -. !l >= gap do
       incr iterations;
       Dsd_obs.Counter.incr Dsd_obs.Counter.Core_iterations;

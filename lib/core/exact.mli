@@ -23,9 +23,20 @@ type result = {
     paper's choice for the pattern kind).  [warm] (default [true])
     carries the committed flow across binary-search probes
     ({!Flow_build.retarget}); [~warm:false] restores the
-    reset-per-probe behaviour. *)
+    reset-per-probe behaviour.
+
+    Repeat-solve hooks (the serving layer's prepared-state cache):
+    [?instances] supplies the Psi-instances of [g] enumerated earlier
+    (must equal [Enumerate.instances g psi]; ignored by the EDS
+    family), and [?prepared] a caller-owned slot for the retargetable
+    flow arena — empty on the first call, reused (retarget-only, no
+    rebuild) on every later call with the same [g], [psi] and
+    [family].  Results are bit-identical with or without either
+    hook. *)
 val run :
   ?pool:Dsd_util.Pool.t ->
   ?warm:bool ->
   ?family:Flow_build.family ->
+  ?instances:int array array ->
+  ?prepared:Flow_build.prepared option ref ->
   Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> result

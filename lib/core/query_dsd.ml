@@ -80,11 +80,18 @@ let run_naive ?pool ?warm g psi ~query =
   in
   { subgraph = best; iterations = !iterations; elapsed_s = Dsd_util.Timer.now_s () -. t0 }
 
-let run ?pool ?warm g psi ~query =
+let run ?pool ?warm ?decomp g psi ~query =
   validate g query;
   let t0 = Dsd_util.Timer.now_s () in
   let iterations = ref 0 in
-  let decomp = Clique_core.decompose ?pool ~track_density:false g psi in
+  (* Only [core] and [mu_total] are read below, and those are identical
+     whether or not the decomposition tracked densities — so a cached
+     decomposition from the serving layer drops in directly. *)
+  let decomp =
+    match decomp with
+    | Some d -> d
+    | None -> Clique_core.decompose ?pool ~track_density:false g psi
+  in
   (* x = minimum clique-core number over the query: the x-core is the
      densest core certain to contain Q. *)
   let x =

@@ -22,10 +22,15 @@ type result = {
 (** [run g psi ~query] solves the variant exactly.  [warm] (default
     [true]) carries flow across binary-search probes; the pinned arcs
     are alpha-independent so pinning composes with warm starts.
+    [?decomp] supplies a (k, Psi)-core decomposition of [g] w.r.t.
+    [psi] computed earlier (the serving layer's prepared-state cache);
+    only core numbers and the instance count are read, so any
+    [track_density] mode drops in with bit-identical results.
     @raise Invalid_argument if [query] is empty or out of range. *)
 val run :
   ?pool:Dsd_util.Pool.t ->
   ?warm:bool ->
+  ?decomp:Clique_core.t ->
   Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> query:int array -> result
 
 (** [run_naive g psi ~query] is the same binary search without the core

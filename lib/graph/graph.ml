@@ -131,6 +131,39 @@ let of_edges ~n edges =
 
 let of_edge_list ~n edges = of_edges ~n (Array.of_list edges)
 
+(* Adopt already-built CSR arrays (the binary-snapshot load path).
+   Every invariant [of_edges] establishes is re-checked here — row
+   monotonicity, strictly increasing loop-free rows, symmetry — so a
+   corrupted or hand-forged snapshot cannot smuggle in a graph the
+   algorithms would misbehave on.  O(m log d) for the symmetry pass. *)
+let of_csr ~n ~row ~col =
+  if n < 0 then invalid_arg "Graph.of_csr: negative n";
+  if Array.length row <> n + 1 then
+    invalid_arg "Graph.of_csr: row must have n + 1 entries";
+  if row.(0) <> 0 || row.(n) <> Array.length col then
+    invalid_arg "Graph.of_csr: row must span col exactly";
+  for v = 0 to n - 1 do
+    if row.(v + 1) < row.(v) then
+      invalid_arg "Graph.of_csr: row offsets must be monotone"
+  done;
+  let g = { n; m = Array.length col / 2; row; col } in
+  if Array.length col land 1 <> 0 then
+    invalid_arg "Graph.of_csr: col length must be even (symmetric edges)";
+  for v = 0 to n - 1 do
+    let prev = ref (-1) in
+    for i = row.(v) to row.(v + 1) - 1 do
+      let w = col.(i) in
+      if w < 0 || w >= n then invalid_arg "Graph.of_csr: neighbour out of range";
+      if w = v then invalid_arg "Graph.of_csr: self loop";
+      if w <= !prev then
+        invalid_arg "Graph.of_csr: neighbours must be strictly increasing";
+      prev := w;
+      if not (mem_edge g w v) then
+        invalid_arg "Graph.of_csr: adjacency is not symmetric"
+    done
+  done;
+  g
+
 let empty n = of_edges ~n [||]
 
 let complete n =

@@ -18,6 +18,16 @@ val of_edges : n:int -> (int * int) array -> t
 (** [of_edge_list ~n edges] is [of_edges] over a list. *)
 val of_edge_list : n:int -> (int * int) list -> t
 
+(** [of_csr ~n ~row ~col] adopts ready-made CSR arrays — the
+    binary-snapshot load path ({!Dsd_serve.Snapshot}), which reads the
+    arrays straight off disk instead of re-parsing an edge list.  The
+    arrays are owned by the graph afterwards and must not be mutated.
+    @raise Invalid_argument unless the arrays satisfy every invariant
+    [of_edges] establishes: [row] has [n + 1] monotone offsets spanning
+    [col] exactly, each neighbour list is strictly increasing, in
+    range, loop-free, and the adjacency is symmetric. *)
+val of_csr : n:int -> row:int array -> col:int array -> t
+
 (** [empty n] has [n] vertices and no edges. *)
 val empty : int -> t
 

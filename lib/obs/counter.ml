@@ -8,11 +8,17 @@ type name =
   | Flow_retargets
   | Flow_warm_starts
   | Flow_excess_drained
+  | Serve_requests
+  | Serve_cache_hits
+  | Serve_cache_misses
+  | Serve_cache_evictions
+  | Serve_protocol_errors
 
 let all =
   [ Flow_augmentations; Flow_level_builds; Peeled_vertices; Clique_instances;
     Core_iterations; Flow_networks_built; Flow_retargets; Flow_warm_starts;
-    Flow_excess_drained ]
+    Flow_excess_drained; Serve_requests; Serve_cache_hits; Serve_cache_misses;
+    Serve_cache_evictions; Serve_protocol_errors ]
 
 let index = function
   | Flow_augmentations -> 0
@@ -24,8 +30,13 @@ let index = function
   | Flow_retargets -> 6
   | Flow_warm_starts -> 7
   | Flow_excess_drained -> 8
+  | Serve_requests -> 9
+  | Serve_cache_hits -> 10
+  | Serve_cache_misses -> 11
+  | Serve_cache_evictions -> 12
+  | Serve_protocol_errors -> 13
 
-let slots = 9
+let slots = 14
 
 let to_string = function
   | Flow_augmentations -> "flow_augmentations"
@@ -37,6 +48,11 @@ let to_string = function
   | Flow_retargets -> "flow_retargets"
   | Flow_warm_starts -> "flow_warm_starts"
   | Flow_excess_drained -> "flow_excess_drained"
+  | Serve_requests -> "serve_requests"
+  | Serve_cache_hits -> "serve_cache_hits"
+  | Serve_cache_misses -> "serve_cache_misses"
+  | Serve_cache_evictions -> "serve_cache_evictions"
+  | Serve_protocol_errors -> "serve_protocol_errors"
 
 (* One atomic per counter: domains striping clique enumeration bump
    these concurrently.  Hot loops either read State.enabled first or

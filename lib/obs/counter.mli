@@ -13,6 +13,11 @@ type name =
   | Flow_retargets      (** prepared networks re-capacitated for a new alpha *)
   | Flow_warm_starts    (** retargets that kept the committed flow (no reset) *)
   | Flow_excess_drained (** flow-decomposition paths cancelled back to the source *)
+  | Serve_requests      (** cacheable requests handled by [dsd serve] *)
+  | Serve_cache_hits    (** serve requests answered from the result LRU *)
+  | Serve_cache_misses  (** serve requests that ran a solver *)
+  | Serve_cache_evictions (** LRU entries displaced by [--max-cached] *)
+  | Serve_protocol_errors (** malformed frames / requests rejected by the server *)
 
 val all : name list
 val to_string : name -> string

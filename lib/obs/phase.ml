@@ -17,6 +17,10 @@ let peel_app = "peel_app"
 let core_app = "core_app"
 let clique_stripe = "clique_stripe"
 
+(* One span per request handled by the serving layer (`dsd serve`);
+   the algorithm spans above nest underneath it. *)
+let serve_request = "serve_request"
+
 (* The paper's Figure 8/Table 3 attribution buckets, in display
    order. *)
 let breakdown = [ decompose; enumerate; build_network; retarget; flow ]

@@ -112,6 +112,25 @@ let basket =
 let figure7 =
   [ star 2; star 3; c3_star; diamond; two_triangle; three_triangle; basket ]
 
+(* The CLI/protocol spelling of every built-in pattern, including the
+   historical aliases.  Kept next to the definitions so a new pattern
+   cannot be added without deciding its wire name. *)
+let of_string s =
+  match String.lowercase_ascii s with
+  | "edge" | "2-clique" -> Some edge
+  | "triangle" | "3-clique" -> Some triangle
+  | "4-clique" -> Some (clique 4)
+  | "5-clique" -> Some (clique 5)
+  | "6-clique" -> Some (clique 6)
+  | "2-star" -> Some (star 2)
+  | "3-star" -> Some (star 3)
+  | "c3-star" | "paw" -> Some c3_star
+  | "diamond" | "c4" -> Some diamond
+  | "2-triangle" -> Some two_triangle
+  | "3-triangle" -> Some three_triangle
+  | "basket" | "house" -> Some basket
+  | _ -> None
+
 let to_graph t = Dsd_graph.Graph.of_edges ~n:t.size t.edges
 
 let automorphisms t =

@@ -60,6 +60,11 @@ val basket : t
 (** The seven Figure 7 patterns in paper order. *)
 val figure7 : t list
 
+(** [of_string s] resolves the CLI/protocol spelling of a built-in
+    pattern (case-insensitive; aliases like ["paw"], ["house"],
+    ["c4"], ["2-clique"] included).  [None] for unknown names. *)
+val of_string : string -> t option
+
 (** {1 Queries} *)
 
 val degree : t -> int -> int

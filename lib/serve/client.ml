@@ -1,0 +1,25 @@
+type t = { fd : Unix.file_descr }
+
+let connect (addr : Server.address) =
+  match addr with
+  | Server.Unix_domain path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    { fd }
+  | Server.Tcp { host; port } ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let call t req =
+  let tag, body = Protocol.encode_request req in
+  Protocol.write_frame t.fd ~tag body;
+  match Protocol.read_frame t.fd with
+  | None -> raise (Protocol.Error "server closed the connection")
+  | Some (tag, body) -> Protocol.decode_response tag body
+
+let once addr req =
+  let t = connect addr in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> call t req)

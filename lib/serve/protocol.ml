@@ -1,0 +1,327 @@
+exception Error of string
+
+let version = 1
+let max_frame = 16 * 1024 * 1024
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ---- body codec ---- *)
+
+(* Bodies are built and parsed with a tiny writer/reader pair.  The
+   reader trusts nothing: every length prefix is checked against the
+   bytes actually remaining before anything is allocated, so a frame
+   whose payload lies about its own sizes is rejected as cheaply as a
+   well-formed one is accepted. *)
+
+module Enc = struct
+  let create () = Buffer.create 64
+
+  let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let int b v =
+    let bytes = Bytes.create 8 in
+    Bytes.set_int64_be bytes 0 (Int64.of_int v);
+    Buffer.add_bytes b bytes
+
+  let float b v =
+    let bytes = Bytes.create 8 in
+    Bytes.set_int64_be bytes 0 (Int64.bits_of_float v);
+    Buffer.add_bytes b bytes
+
+  let str b s =
+    int b (String.length s);
+    Buffer.add_string b s
+
+  let ints b a =
+    int b (Array.length a);
+    Array.iter (int b) a
+
+  let contents = Buffer.contents
+end
+
+module Dec = struct
+  type t = { body : string; mutable pos : int }
+
+  let of_string body = { body; pos = 0 }
+  let remaining t = String.length t.body - t.pos
+
+  let u8 t =
+    if remaining t < 1 then err "truncated body";
+    let v = Char.code t.body.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let int64 t =
+    if remaining t < 8 then err "truncated body";
+    let v = String.get_int64_be t.body t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let int t =
+    let v = int64 t in
+    if Int64.compare v (Int64.of_int min_int) < 0
+       || Int64.compare v (Int64.of_int max_int) > 0
+    then err "integer out of range";
+    Int64.to_int v
+
+  let float t = Int64.float_of_bits (int64 t)
+
+  let str t =
+    let len = int t in
+    if len < 0 || len > remaining t then err "corrupt string length";
+    let s = String.sub t.body t.pos len in
+    t.pos <- t.pos + len;
+    s
+
+  let ints t =
+    let len = int t in
+    if len < 0 || len > remaining t / 8 then err "corrupt array length";
+    Array.init len (fun _ -> int t)
+
+  let finish t = if remaining t <> 0 then err "trailing bytes in body"
+end
+
+(* ---- tags ---- *)
+
+let tag_ping = 0x01
+let tag_stats = 0x02
+let tag_density = 0x03
+let tag_cds = 0x04
+let tag_decompose = 0x05
+let tag_query = 0x06
+let tag_shutdown = 0x07
+let tag_ok = 0x40
+let tag_error = 0x7f
+
+(* ---- frame I/O ---- *)
+
+let rec write_all fd bytes off len =
+  if len > 0 then begin
+    let w = Unix.write fd bytes off len in
+    write_all fd bytes (off + w) (len - w)
+  end
+
+(* [read_exact] returns the bytes read before end-of-stream, retrying
+   on EINTR; callers distinguish "closed between frames" (0 bytes of a
+   header) from "closed mid-frame" (anything else). *)
+let read_exact fd bytes len =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    match Unix.read fd bytes !got (len - !got) with
+    | 0 -> eof := true
+    | r -> got := !got + r
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  !got
+
+let read_frame fd =
+  let header = Bytes.create 4 in
+  match read_exact fd header 4 with
+  | 0 -> None
+  | h when h < 4 -> err "truncated frame header"
+  | _ ->
+    let len = Int32.to_int (Bytes.get_int32_be header 0) in
+    if len < 2 then err "frame too short (%d bytes)" len;
+    if len > max_frame then err "oversized frame (%d bytes, max %d)" len max_frame;
+    let payload = Bytes.create len in
+    let got = read_exact fd payload len in
+    if got < len then err "truncated frame body (%d of %d bytes)" got len;
+    let v = Char.code (Bytes.get payload 0) in
+    if v <> version then err "protocol version mismatch (%d, expected %d)" v version;
+    Some (Char.code (Bytes.get payload 1), Bytes.sub_string payload 2 (len - 2))
+
+let write_frame fd ~tag body =
+  let len = String.length body + 2 in
+  if len > max_frame then err "frame too large to send (%d bytes)" len;
+  let bytes = Bytes.create (4 + len) in
+  Bytes.set_int32_be bytes 0 (Int32.of_int len);
+  Bytes.set bytes 4 (Char.chr version);
+  Bytes.set bytes 5 (Char.chr tag);
+  Bytes.blit_string body 0 bytes 6 (String.length body);
+  write_all fd bytes 0 (4 + len)
+
+(* ---- typed layer ---- *)
+
+type request =
+  | Ping
+  | Stats
+  | Density of { graph : string; psi : string; algorithm : string }
+  | Cds of { graph : string; psi : string; algorithm : string }
+  | Decompose of { graph : string; psi : string }
+  | Query of { graph : string; psi : string; vertices : int array }
+  | Shutdown
+
+type response =
+  | Pong
+  | Stats_r of {
+      counters : (string * int) list;
+      cache : (string * int) list;
+      graphs : string list;
+    }
+  | Density_r of float
+  | Cds_r of { density : float; vertices : int array }
+  | Decompose_r of { kmax : int; core : int array }
+  | Query_r of { density : float; vertices : int array }
+  | Shutdown_r
+  | Error_r of string
+
+let encode_request req =
+  let b = Enc.create () in
+  let tag =
+    match req with
+    | Ping -> tag_ping
+    | Stats -> tag_stats
+    | Shutdown -> tag_shutdown
+    | Density { graph; psi; algorithm } | Cds { graph; psi; algorithm } ->
+      Enc.str b graph;
+      Enc.str b psi;
+      Enc.str b algorithm;
+      (match req with Density _ -> tag_density | _ -> tag_cds)
+    | Decompose { graph; psi } ->
+      Enc.str b graph;
+      Enc.str b psi;
+      tag_decompose
+    | Query { graph; psi; vertices } ->
+      Enc.str b graph;
+      Enc.str b psi;
+      Enc.ints b vertices;
+      tag_query
+  in
+  (tag, Enc.contents b)
+
+let decode_request tag body =
+  let d = Dec.of_string body in
+  let req =
+    if tag = tag_ping then Ping
+    else if tag = tag_stats then Stats
+    else if tag = tag_shutdown then Shutdown
+    else if tag = tag_density || tag = tag_cds then begin
+      let graph = Dec.str d in
+      let psi = Dec.str d in
+      let algorithm = Dec.str d in
+      if tag = tag_density then Density { graph; psi; algorithm }
+      else Cds { graph; psi; algorithm }
+    end
+    else if tag = tag_decompose then begin
+      let graph = Dec.str d in
+      let psi = Dec.str d in
+      Decompose { graph; psi }
+    end
+    else if tag = tag_query then begin
+      let graph = Dec.str d in
+      let psi = Dec.str d in
+      let vertices = Dec.ints d in
+      Query { graph; psi; vertices }
+    end
+    else err "unknown request tag 0x%02x" tag
+  in
+  Dec.finish d;
+  req
+
+(* OK responses carry a kind byte so the decoder needs no context;
+   errors travel under their own tag. *)
+let kind_pong = 0x01
+let kind_stats = 0x02
+let kind_density = 0x03
+let kind_cds = 0x04
+let kind_decompose = 0x05
+let kind_query = 0x06
+let kind_shutdown = 0x07
+
+let encode_kv b (k, v) =
+  Enc.str b k;
+  Enc.int b v
+
+let decode_kv d =
+  let k = Dec.str d in
+  let v = Dec.int d in
+  (k, v)
+
+let encode_list b enc items =
+  Enc.int b (List.length items);
+  List.iter (enc b) items
+
+let decode_list d dec =
+  let len = Dec.int d in
+  if len < 0 || len > Dec.remaining d then err "corrupt list length";
+  List.init len (fun _ -> dec d)
+
+let encode_response resp =
+  let b = Enc.create () in
+  match resp with
+  | Error_r msg ->
+    Enc.str b msg;
+    (tag_error, Enc.contents b)
+  | _ ->
+    (match resp with
+    | Pong -> Enc.u8 b kind_pong
+    | Stats_r { counters; cache; graphs } ->
+      Enc.u8 b kind_stats;
+      encode_list b encode_kv counters;
+      encode_list b encode_kv cache;
+      encode_list b Enc.str graphs
+    | Density_r rho ->
+      Enc.u8 b kind_density;
+      Enc.float b rho
+    | Cds_r { density; vertices } ->
+      Enc.u8 b kind_cds;
+      Enc.float b density;
+      Enc.ints b vertices
+    | Decompose_r { kmax; core } ->
+      Enc.u8 b kind_decompose;
+      Enc.int b kmax;
+      Enc.ints b core
+    | Query_r { density; vertices } ->
+      Enc.u8 b kind_query;
+      Enc.float b density;
+      Enc.ints b vertices
+    | Shutdown_r -> Enc.u8 b kind_shutdown
+    | Error_r _ -> assert false);
+    (tag_ok, Enc.contents b)
+
+let decode_response tag body =
+  let d = Dec.of_string body in
+  let resp =
+    if tag = tag_error then Error_r (Dec.str d)
+    else if tag = tag_ok then begin
+      let kind = Dec.u8 d in
+      if kind = kind_pong then Pong
+      else if kind = kind_stats then begin
+        let counters = decode_list d decode_kv in
+        let cache = decode_list d decode_kv in
+        let graphs = decode_list d Dec.str in
+        Stats_r { counters; cache; graphs }
+      end
+      else if kind = kind_density then Density_r (Dec.float d)
+      else if kind = kind_cds then begin
+        let density = Dec.float d in
+        let vertices = Dec.ints d in
+        Cds_r { density; vertices }
+      end
+      else if kind = kind_decompose then begin
+        let kmax = Dec.int d in
+        let core = Dec.ints d in
+        Decompose_r { kmax; core }
+      end
+      else if kind = kind_query then begin
+        let density = Dec.float d in
+        let vertices = Dec.ints d in
+        Query_r { density; vertices }
+      end
+      else if kind = kind_shutdown then Shutdown_r
+      else err "unknown response kind 0x%02x" kind
+    end
+    else err "unknown response tag 0x%02x" tag
+  in
+  Dec.finish d;
+  resp
+
+(* The canonical key is simply the request's own wire encoding — two
+   requests are the same query iff they serialise identically. *)
+let request_key req =
+  match req with
+  | Ping | Stats | Shutdown -> None
+  | Density _ | Cds _ | Decompose _ | Query _ ->
+    let tag, body = encode_request req in
+    Some (Printf.sprintf "%d:%s" tag body)

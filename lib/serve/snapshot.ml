@@ -1,0 +1,122 @@
+module G = Dsd_graph.Graph
+
+let magic = "DSDSNAP1"
+let version = 1
+let header_bytes = 8 + 4 + 8 + 8
+
+(* FNV-1a, 64-bit: cheap, sequential, and sensitive to byte order —
+   exactly what a single-pass load wants.  Not cryptographic; the
+   checksum guards against truncation and bit rot, while the structural
+   re-validation in Graph.of_csr guards against everything else. *)
+let fnv64 bytes ~len =
+  let h = ref 0xcbf29ce484222325L in
+  for i = 0 to len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get bytes i)));
+    h := Int64.mul !h 0x100000001b3L
+  done;
+  !h
+
+let failf path fmt =
+  Printf.ksprintf (fun s -> failwith (Printf.sprintf "snapshot %s: %s" path s)) fmt
+
+(* File size for a graph with [n] vertices and [m] edges. *)
+let total_bytes ~n ~m = header_bytes + (8 * (n + 1)) + (8 * 2 * m) + 8
+
+let write path g =
+  let n = G.n g and m = G.m g in
+  let total = total_bytes ~n ~m in
+  let buf = Bytes.create total in
+  Bytes.blit_string magic 0 buf 0 8;
+  Bytes.set_int32_be buf 8 (Int32.of_int version);
+  Bytes.set_int64_be buf 12 (Int64.of_int n);
+  Bytes.set_int64_be buf 20 (Int64.of_int m);
+  (* Row offsets by prefix sum, then the neighbour lists in CSR order —
+     both straight off the graph's accessors, no intermediate arrays. *)
+  let off = ref header_bytes in
+  let acc = ref 0 in
+  for v = 0 to n do
+    Bytes.set_int64_be buf !off (Int64.of_int !acc);
+    off := !off + 8;
+    if v < n then acc := !acc + G.degree g v
+  done;
+  for v = 0 to n - 1 do
+    G.iter_neighbors g v ~f:(fun w ->
+        Bytes.set_int64_be buf !off (Int64.of_int w);
+        off := !off + 8)
+  done;
+  assert (!off = total - 8);
+  Bytes.set_int64_be buf (total - 8) (fnv64 buf ~len:(total - 8));
+  (* Atomic publish: a reader never observes a partially written
+     snapshot under [path]. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_bytes oc buf;
+  close_out oc;
+  Sys.rename tmp path;
+  total
+
+(* An on-disk u64 must fit the host int: ids and offsets are
+   non-negative and far below 2^62 in any loadable file. *)
+let to_int path what v =
+  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+    failf path "%s out of range (%Ld)" what v;
+  Int64.to_int v
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let buf = Bytes.create len in
+      really_input ic buf 0 len;
+      buf)
+
+let parse_header path buf =
+  let len = Bytes.length buf in
+  if len < header_bytes + 8 then failf path "truncated (only %d bytes)" len;
+  if Bytes.sub_string buf 0 8 <> magic then failf path "bad magic (not a snapshot)";
+  let v = Int32.to_int (Bytes.get_int32_be buf 8) in
+  if v <> version then failf path "unsupported version %d (expected %d)" v version;
+  let n = to_int path "vertex count" (Bytes.get_int64_be buf 12) in
+  let m = to_int path "edge count" (Bytes.get_int64_be buf 20) in
+  let expected = total_bytes ~n ~m in
+  if len <> expected then
+    failf path "wrong length: %d bytes for n=%d m=%d (expected %d)" len n m
+      expected;
+  (n, m)
+
+let load path =
+  let buf = read_file path in
+  let n, m = parse_header path buf in
+  let total = Bytes.length buf in
+  let stored = Bytes.get_int64_be buf (total - 8) in
+  let computed = fnv64 buf ~len:(total - 8) in
+  if not (Int64.equal stored computed) then
+    failf path "checksum mismatch (stored %016Lx, computed %016Lx)" stored
+      computed;
+  let word i = to_int path "entry" (Bytes.get_int64_be buf (header_bytes + (8 * i))) in
+  let row = Array.init (n + 1) word in
+  let col = Array.init (2 * m) (fun i -> word (n + 1 + i)) in
+  try G.of_csr ~n ~row ~col
+  with Invalid_argument msg -> failf path "invalid graph: %s" msg
+
+type info = {
+  info_version : int;
+  n : int;
+  m : int;
+  bytes : int;
+}
+
+let info path =
+  let buf = read_file path in
+  let n, m = parse_header path buf in
+  { info_version = version; n; m; bytes = Bytes.length buf }
+
+let is_snapshot path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      in_channel_length ic >= 8
+      && really_input_string ic 8 = magic)

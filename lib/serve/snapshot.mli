@@ -1,0 +1,56 @@
+(** Binary CSR graph snapshots — the serving layer's on-disk format.
+
+    `dsd snapshot build` converts an edge-list file once; every later
+    load is a single sequential read of the header plus two flat int
+    arrays (the {!Dsd_graph.Graph} CSR row/col arrays), with no text
+    parsing, vertex-id compaction, sorting or deduplication.  The file
+    is fully self-validating: an 8-byte magic, a format version, exact
+    length accounting and a trailing FNV-1a checksum over everything
+    before it, so a truncated, corrupted or foreign file is rejected
+    loudly instead of decoding into garbage.
+
+    Layout (all integers big-endian):
+    {v
+      offset 0   8 bytes   magic "DSDSNAP1"
+             8   4 bytes   format version (= 1)
+            12   8 bytes   n (vertices)
+            20   8 bytes   m (undirected edges)
+            28   8 x (n+1) row offsets
+             .   8 x 2m    concatenated sorted neighbour lists
+          last   8 bytes   FNV-1a 64 checksum of all preceding bytes
+    v} *)
+
+(** Format version written by {!write}; {!load} accepts only this. *)
+val version : int
+
+(** [write path g] writes the snapshot atomically (temp file + rename,
+    so a crashed writer never leaves a half-snapshot under [path]).
+    Returns the file size in bytes. *)
+val write : string -> Dsd_graph.Graph.t -> int
+
+(** [load path] reads a snapshot back.  The CSR arrays are handed to
+    {!Dsd_graph.Graph.of_csr}, which re-checks every structural
+    invariant, so even a checksum-colliding corruption cannot produce
+    an ill-formed graph.
+    @raise Failure on bad magic, unsupported version, wrong length,
+    checksum mismatch, or values that overflow the host [int]. *)
+val load : string -> Dsd_graph.Graph.t
+
+type info = {
+  info_version : int;
+  n : int;
+  m : int;
+  bytes : int;  (** total file size *)
+}
+
+(** [info path] reads and validates only the fixed-size header (plus
+    the length accounting) — O(1), for `dsd snapshot info`.
+    @raise Failure as {!load}, except checksum mismatches go
+    undetected. *)
+val info : string -> info
+
+(** [is_snapshot path] sniffs the magic bytes: [true] iff [path]
+    starts with the snapshot magic.  Lets every `--input` flag accept
+    snapshots and edge lists interchangeably.
+    @raise Sys_error if the file cannot be opened. *)
+val is_snapshot : string -> bool

@@ -1,0 +1,223 @@
+module G = Dsd_graph.Graph
+module P = Dsd_pattern.Pattern
+module Counter = Dsd_obs.Counter
+
+(* Per-(graph, psi) prepared state.  Everything here is a pure function
+   of (graph, psi), computed at most once per server lifetime:
+   [instances] feeds Exact and the PDS flow builders, [decomp] (with
+   density tracking, the strongest mode) drops into CoreExact, Query
+   and the decompose endpoint alike, and [exact_prepared] keeps Exact's
+   whole-graph flow arena so repeat solves only retarget. *)
+type psi_state = {
+  psi : P.t;
+  graph : G.t;
+  instances : int array array Lazy.t;
+  decomp : Dsd_core.Clique_core.t Lazy.t;
+  exact_prepared : Dsd_core.Flow_build.prepared option ref;
+}
+
+type graph_state = {
+  g : G.t;
+  psis : (string, psi_state) Hashtbl.t;
+}
+
+type t = {
+  names : string list;  (* registration order, for the stats endpoint *)
+  tbl : (string, graph_state) Hashtbl.t;
+  results : Protocol.response Lru.t;
+  pool : Dsd_util.Pool.t option;
+  mutable requests : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?pool ~max_cached graphs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (name, g) ->
+      if Hashtbl.mem tbl name then
+        invalid_arg (Printf.sprintf "State.create: duplicate graph %s" name);
+      Hashtbl.add tbl name { g; psis = Hashtbl.create 8 })
+    graphs;
+  { names = List.map fst graphs;
+    tbl;
+    results = Lru.create ~capacity:max_cached;
+    pool;
+    requests = 0;
+    hits = 0;
+    misses = 0 }
+
+let graphs t = List.map (fun name -> (name, (Hashtbl.find t.tbl name).g)) t.names
+
+let psi_state t (gs : graph_state) (psi : P.t) =
+  let key = psi.P.name in
+  match Hashtbl.find_opt gs.psis key with
+  | Some ps -> ps
+  | None ->
+    let pool = t.pool in
+    let g = gs.g in
+    let ps =
+      { psi;
+        graph = g;
+        instances = lazy (Dsd_core.Enumerate.instances ?pool g psi);
+        decomp =
+          lazy (Dsd_core.Clique_core.decompose ?pool ~track_density:true g psi);
+        exact_prepared = ref None }
+    in
+    Hashtbl.add gs.psis key ps;
+    ps
+
+let clear_results t = Lru.clear t.results
+
+let cache_stats t =
+  [ ("capacity", Lru.capacity t.results);
+    ("entries", Lru.length t.results);
+    ("requests", t.requests);
+    ("hits", t.hits);
+    ("misses", t.misses);
+    ("evictions", Lru.evictions t.results) ]
+
+(* ---- validation ---- *)
+
+type lookup = {
+  ps : psi_state;
+}
+
+let errorf fmt = Printf.ksprintf (fun s -> Protocol.Error_r s) fmt
+
+let lookup t ~graph ~psi =
+  match Hashtbl.find_opt t.tbl graph with
+  | None ->
+    Error
+      (errorf "unknown graph %s (serving: %s)" graph
+         (String.concat ", " t.names))
+  | Some gs -> (
+    match P.of_string psi with
+    | None -> Error (errorf "unknown pattern %s (see 'dsd patterns')" psi)
+    | Some p -> Ok { ps = psi_state t gs p })
+
+(* ---- solvers ---- *)
+
+let densest t (ps : psi_state) algorithm =
+  let pool = t.pool in
+  let g = ps.graph and psi = ps.psi in
+  match String.lowercase_ascii algorithm with
+  | "exact" ->
+    let family = Dsd_core.Flow_build.auto_family psi ~grouped:false in
+    let instances =
+      match family with
+      | Dsd_core.Flow_build.Eds -> [||]  (* never enumerated by Exact *)
+      | _ -> Lazy.force ps.instances
+    in
+    Ok
+      (Dsd_core.Exact.run ?pool ~instances ~prepared:ps.exact_prepared g psi)
+        .Dsd_core.Exact.subgraph
+  | "coreexact" ->
+    Ok
+      (Dsd_core.Core_exact.run ?pool ~decomp:(Lazy.force ps.decomp) g psi)
+        .Dsd_core.Core_exact.subgraph
+  | "peel" ->
+    Ok (Dsd_core.Api.densest_subgraph ?pool ~psi ~algorithm:Dsd_core.Api.Peel g)
+  | "incapp" ->
+    Ok
+      (Dsd_core.Api.densest_subgraph ?pool ~psi ~algorithm:Dsd_core.Api.Inc_app
+         g)
+  | "coreapp" ->
+    Ok
+      (Dsd_core.Api.densest_subgraph ?pool ~psi ~algorithm:Dsd_core.Api.Core_app
+         g)
+  | other -> Error (errorf "unknown algorithm %s" other)
+
+let compute t (req : Protocol.request) : Protocol.response =
+  match req with
+  | Ping | Stats | Shutdown -> assert false  (* not cacheable; handled below *)
+  | Density { graph; psi; algorithm } -> (
+    match lookup t ~graph ~psi with
+    | Error e -> e
+    | Ok { ps } -> (
+      match densest t ps algorithm with
+      | Error e -> e
+      | Ok sg -> Density_r sg.Dsd_core.Density.density))
+  | Cds { graph; psi; algorithm } -> (
+    match lookup t ~graph ~psi with
+    | Error e -> e
+    | Ok { ps } -> (
+      match densest t ps algorithm with
+      | Error e -> e
+      | Ok sg ->
+        Cds_r
+          { density = sg.Dsd_core.Density.density;
+            vertices = sg.Dsd_core.Density.vertices }))
+  | Decompose { graph; psi } -> (
+    match lookup t ~graph ~psi with
+    | Error e -> e
+    | Ok { ps } ->
+      let d = Lazy.force ps.decomp in
+      Decompose_r
+        { kmax = d.Dsd_core.Clique_core.kmax;
+          core = Array.copy d.Dsd_core.Clique_core.core })
+  | Query { graph; psi; vertices } -> (
+    match lookup t ~graph ~psi with
+    | Error e -> e
+    | Ok { ps } ->
+      let n = G.n ps.graph in
+      if Array.length vertices = 0 then errorf "query needs at least one vertex"
+      else if Array.exists (fun v -> v < 0 || v >= n) vertices then
+        errorf "query vertex out of range (graph has %d vertices)" n
+      else begin
+        let r =
+          Dsd_core.Query_dsd.run ?pool:t.pool ~decomp:(Lazy.force ps.decomp)
+            ps.graph ps.psi ~query:vertices
+        in
+        let sg = r.Dsd_core.Query_dsd.subgraph in
+        Query_r
+          { density = sg.Dsd_core.Density.density;
+            vertices = sg.Dsd_core.Density.vertices }
+      end)
+
+(* Only successful answers enter the LRU: errors are cheap to recompute
+   and must not shadow a graph registered later under the same name. *)
+let cacheable_ok = function
+  | Protocol.Error_r _ -> false
+  | _ -> true
+
+let handle_cached t req key =
+  t.requests <- t.requests + 1;
+  Counter.incr Counter.Serve_requests;
+  match Lru.find t.results key with
+  | Some resp ->
+    t.hits <- t.hits + 1;
+    Counter.incr Counter.Serve_cache_hits;
+    resp
+  | None ->
+    t.misses <- t.misses + 1;
+    Counter.incr Counter.Serve_cache_misses;
+    let resp = compute t req in
+    if cacheable_ok resp then begin
+      match Lru.add t.results key resp with
+      | Some _evicted -> Counter.incr Counter.Serve_cache_evictions
+      | None -> ()
+    end;
+    resp
+
+let handle t (req : Protocol.request) : Protocol.response =
+  match req with
+  | Ping -> Pong
+  | Shutdown -> Shutdown_r
+  | Stats ->
+    Stats_r
+      { counters = Counter.snapshot ();
+        cache = cache_stats t;
+        graphs =
+          List.map
+            (fun (name, g) ->
+              Printf.sprintf "%s n=%d m=%d" name (G.n g) (G.m g))
+            (graphs t) }
+  | Density _ | Cds _ | Decompose _ | Query _ ->
+    let key =
+      match Protocol.request_key req with
+      | Some k -> k
+      | None -> assert false
+    in
+    Dsd_obs.Span.with_ Dsd_obs.Phase.serve_request (fun () ->
+        handle_cached t req key)

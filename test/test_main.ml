@@ -26,4 +26,5 @@ let () =
       ("metamorphic", Test_metamorphic.suite);
       ("ld-decomposition", Test_ld.suite);
       ("directed", Test_directed.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,8 +1,9 @@
 # Convenience targets; CI should run `make check`.
 
 .PHONY: all build test test-flow test-warmstart test-metamorphic test-serve \
-	fuzz-smoke coverage fmt check bench-phases bench-retarget \
-	bench-warmstart bench-serve clean
+	test-incremental fuzz-smoke fuzz-incremental coverage fmt check \
+	bench-phases bench-retarget bench-warmstart bench-serve \
+	bench-incremental clean
 
 all: build
 
@@ -36,12 +37,28 @@ test-metamorphic:
 test-serve:
 	dune exec test/test_main.exe -- test serve
 
+# The incremental suite on its own: the delta-stream differential
+# battery (patched session vs rebuild, bit-identical per batch), the
+# dynamic-core maintenance checks, the delta generator/shrinker model
+# tests and the arc-surgery flow repairs.
+test-incremental:
+	dune exec test/test_main.exe -- test incremental
+
 # A real fuzzing burst: fresh random cases against every relation,
 # bounded by wall clock so `make check` stays fast.  Uses an
 # arbitrary fixed seed; re-roll with FUZZ_SEED=n.
 FUZZ_SEED ?= 42
 fuzz-smoke:
 	dune exec bin/dsd.exe -- fuzz --cases 400 --seed $(FUZZ_SEED) --time-budget 15
+
+# A focused burst on the incremental relations only: delta scripts
+# round-tripped through the serve codec against a rebuild oracle, and
+# the edge-deletion monotonicity law.
+fuzz-incremental:
+	dune exec bin/dsd.exe -- fuzz --cases 200 --seed $(FUZZ_SEED) --time-budget 10 \
+		--relation delta-equals-rebuild
+	dune exec bin/dsd.exe -- fuzz --cases 200 --seed $(FUZZ_SEED) --time-budget 5 \
+		--relation edge-deletion-monotonicity
 
 # Line coverage via bisect_ppx, skipped gracefully when the ppx is not
 # installed (the toolchain image does not bake it in, like ocamlformat).
@@ -72,10 +89,13 @@ check:
 	$(MAKE) fmt
 	dune build @default @runtest
 	$(MAKE) test-serve
+	$(MAKE) test-incremental
 	$(MAKE) fuzz-smoke
-	dune exec bench/main.exe -- --only parallel,retarget,warmstart,serve --smoke
+	$(MAKE) fuzz-incremental
+	dune exec bench/main.exe -- --only parallel,retarget,warmstart,serve,incremental --smoke
 	dune exec bench/compare.exe -- BENCH_warmstart.json
 	dune exec bench/compare.exe -- BENCH_serve.json
+	dune exec bench/compare.exe -- BENCH_incremental.json
 
 # Per-phase observability breakdown (Dsd_obs spans/counters).
 bench-phases:
@@ -96,6 +116,12 @@ bench-warmstart:
 bench-serve:
 	dune exec bench/main.exe -- --only serve
 	dune exec bench/compare.exe -- BENCH_serve.json
+
+# Patch-vs-recompute on a sliding edge window (writes
+# BENCH_incremental.json), then the <= 0.5x batch-cost gate.
+bench-incremental:
+	dune exec bench/main.exe -- --only incremental
+	dune exec bench/compare.exe -- BENCH_incremental.json
 
 clean:
 	dune clean

@@ -9,6 +9,10 @@
    - BENCH_serve.json rows: a repeated identical request must be
      answered at least 5x faster from the result LRU than the cold
      solve — the serving layer's reason to exist.
+   - BENCH_incremental.json rows: patching the live session through a
+     delta batch must cost at most half a from-scratch recompute
+     (and the two answers must never have disagreed) — otherwise the
+     arc surgery and core repair are slower than rebuilding.
 
    Usage: compare [FILE]   (default BENCH_warmstart.json)
    Exits 0 when every row satisfies its gate, 1 otherwise (or when the
@@ -117,6 +121,36 @@ let () =
             warm reset
             (if warm > 0 then float_of_int reset /. float_of_int warm else 0.)
       | _ -> (
+        match
+          ( float_field line "recompute_s",
+            float_field line "incremental_s" )
+        with
+        | Some recompute, Some incr_s ->
+          incr rows;
+          let label =
+            Printf.sprintf "%s/%s"
+              (Option.value (str_field line "graph") ~default:"?")
+              (Option.value (str_field line "pattern") ~default:"?")
+          in
+          let mismatches =
+            Option.value (int_field line "mismatches") ~default:0
+          in
+          if mismatches > 0 then begin
+            incr bad;
+            Printf.printf "FAIL %-24s %d incremental/rebuild mismatches\n"
+              label mismatches
+          end
+          else if incr_s > 0.5 *. recompute then begin
+            incr bad;
+            Printf.printf
+              "FAIL %-24s incremental %.3fs > 0.5 * recompute %.3fs\n" label
+              incr_s recompute
+          end
+          else
+            Printf.printf "ok   %-24s incremental %8.3fs <= 0.5 * %8.3fs  (%.1fx)\n"
+              label incr_s recompute
+              (if incr_s > 0. then recompute /. incr_s else 0.)
+        | _ -> (
         match float_field line "cached_speedup" with
         | Some speedup ->
           incr rows;
@@ -132,7 +166,7 @@ let () =
           end
           else
             Printf.printf "ok   %-32s cached %8.1fx faster\n" label speedup
-        | None -> ()))
+        | None -> ())))
     (read_lines path);
   if !rows = 0 then begin
     Printf.eprintf "compare: no gateable rows in %s\n" path;

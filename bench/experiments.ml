@@ -1319,6 +1319,134 @@ let serve () =
   close_out oc;
   print_endline "\nwrote BENCH_serve.json"
 
+(* ---- incremental: patch vs recompute on a sliding window (BENCH_incremental.json) ---- *)
+
+(* What the incremental subsystem buys on an edge stream.  A sliding
+   window of W edges advances by B edges per batch (B inserts of the
+   next stream edges plus B deletes of the oldest, interleaved the way
+   `dsd watch` applies them); after every batch the exact CDS is
+   re-answered twice — by patching the live session ({!Inc_dsd.apply}
+   + warm {!query}) and by a from-scratch rebuild ({!Inc_dsd.create}
+   on the current snapshot + query).  Answers are asserted
+   bit-identical per batch (the differential battery and the
+   delta-equals-rebuild relation pin the same property); the JSON row
+   records the summed times per mode.  bench/compare.ml gates
+   incremental_s <= 0.5 * recompute_s and mismatches = 0. *)
+let incremental () =
+  let smoke = !H.smoke in
+  H.section
+    (Printf.sprintf "Incremental — patch vs recompute on a sliding window%s"
+       (if smoke then " [smoke]" else ""));
+  let cases =
+    if smoke then
+      [ ("ba_500",
+         Dsd_data.Gen.barabasi_albert ~seed:9 ~n:500 ~attach:6,
+         "triangle", P.triangle, 4, 5) ]
+    else
+      [ ("ba_2k",
+         Dsd_data.Gen.barabasi_albert ~seed:7 ~n:2_000 ~attach:6,
+         "triangle", P.triangle, 8, 12);
+        ("ba_2k",
+         Dsd_data.Gen.barabasi_albert ~seed:7 ~n:2_000 ~attach:6,
+         "5-clique", P.clique 5, 8, 12);
+        ("ba_5k",
+         Dsd_data.Gen.barabasi_albert ~seed:5 ~n:5_000 ~attach:4,
+         "4-clique", P.clique 4, 8, 12) ]
+  in
+  let json_rows = ref [] in
+  let rows =
+    List.map
+      (fun (gname, g, pname, psi, batch_ops, batches) ->
+        let n = G.n g in
+        (* Both modes timed in one forked child so the speedup column
+           is a ratio of same-process times. *)
+        let cell =
+          H.run_cell
+            ~timeout:(4. *. float_of_int batches *. !H.default_timeout)
+            (fun () ->
+              let stream = G.edges g in
+              let total = Array.length stream in
+              let window = total * 3 / 5 in
+              let session =
+                Dsd_core.Inc_dsd.create
+                  (G.of_edges ~n (Array.sub stream 0 window)) psi
+              in
+              (* Answer the initial window before the stream starts —
+                 what `dsd watch` does — so the per-batch incremental
+                 column measures warm queries only. *)
+              ignore (Dsd_core.Inc_dsd.density session);
+              let inc_t = ref 0. and rec_t = ref 0. in
+              let mismatches = ref 0 in
+              let head = ref window and tail = ref 0 in
+              for _ = 1 to batches do
+                let b = min batch_ops (total - !head) in
+                let ops =
+                  Array.init (2 * b) (fun i ->
+                      if i mod 2 = 0 then
+                        let u, v = stream.(!tail + (i / 2)) in
+                        Dsd_graph.Dynamic.Remove (u, v)
+                      else
+                        let u, v = stream.(!head + (i / 2)) in
+                        Dsd_graph.Dynamic.Add (u, v))
+                in
+                head := !head + b;
+                tail := !tail + b;
+                let d_inc, dt =
+                  H.timed (fun () ->
+                      ignore (Dsd_core.Inc_dsd.apply session ops);
+                      Dsd_core.Inc_dsd.density session)
+                in
+                inc_t := !inc_t +. dt;
+                let d_rec, dt =
+                  H.timed (fun () ->
+                      Dsd_core.Inc_dsd.density
+                        (Dsd_core.Inc_dsd.create
+                           (Dsd_core.Inc_dsd.graph session) psi))
+                in
+                rec_t := !rec_t +. dt;
+                if d_inc <> d_rec then incr mismatches
+              done;
+              Printf.sprintf "%d %.6f %.6f %d" window !inc_t !rec_t
+                !mismatches)
+        in
+        match cell with
+        | H.Ok s ->
+          (match String.split_on_char ' ' (String.trim s) with
+           | [ w; inc_s; rec_s; mis ] ->
+             let speedup =
+               match (float_of_string_opt rec_s, float_of_string_opt inc_s) with
+               | Some r, Some i when i > 0. -> Printf.sprintf "%.2f" (r /. i)
+               | _ -> "null"
+             in
+             json_rows :=
+               Printf.sprintf
+                 "    {\"graph\": \"%s\", \"pattern\": \"%s\", \"n\": %d, \
+                  \"window_m\": %s, \"batch_ops\": %d, \"batches\": %d, \
+                  \"recompute_s\": %s, \"incremental_s\": %s, \
+                  \"speedup\": %s, \"mismatches\": %s}"
+                 gname pname n w batch_ops batches rec_s inc_s speedup mis
+               :: !json_rows;
+             [ gname; pname; w; string_of_int batches; inc_s ^ "s";
+               rec_s ^ "s"; speedup ^ "x"; mis ]
+           | _ -> [ gname; pname; String.trim s; "-"; "-"; "-"; "-"; "-" ])
+        | other ->
+          [ gname; pname; H.show_payload other; "-"; "-"; "-"; "-"; "-" ])
+      cases
+  in
+  H.table
+    ~header:
+      [ "graph"; "pattern"; "window"; "batches"; "incremental"; "recompute";
+        "speedup"; "mismatch" ]
+    ~rows;
+  let oc = open_out "BENCH_incremental.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"incremental\",\n  \"smoke\": %b,\n  \"rows\": \
+     [\n%s\n  ]\n}\n"
+    smoke
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  print_endline "\nwrote BENCH_incremental.json"
+
 (* ---- registry ---- *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -1349,6 +1477,7 @@ let all : (string * string * (unit -> unit)) list =
     ("retarget", "flow-network builds vs re-alphas (BENCH_retarget.json)", retarget);
     ("warmstart", "warm vs reset flow retargeting (BENCH_warmstart.json)", warmstart);
     ("serve", "cold vs prepared vs cached request latency (BENCH_serve.json)", serve);
+    ("incremental", "patch vs recompute on a sliding window (BENCH_incremental.json)", incremental);
     ("ext_truss", "extension: truss vs CDS", ext_truss);
     ("ext_sampled", "future work: sampled approximation", ext_sampled);
     ("ext_atleastk", "future work: densest-at-least-k", ext_atleastk);

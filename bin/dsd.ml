@@ -6,6 +6,7 @@
      decompose   (k, Psi)-core numbers / the kmax core
      cds         find the densest subgraph (exact or approximate)
      query       densest subgraph containing given vertices (Sec 6.3)
+     watch       re-answer density/cds over an edge-delta stream
      truss       k-truss decomposition (comparison model)
      patterns    list the built-in patterns
 
@@ -328,6 +329,124 @@ let query =
     C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ domains_arg
             $ vertices $ stats_arg $ trace_arg $ no_warm_arg)
 
+(* ---- watch: re-answer the CDS over an edge-delta stream ---- *)
+
+let watch =
+  let deltas_arg =
+    C.Arg.(required & opt (some string) None
+           & info [ "deltas" ] ~docv:"FILE"
+               ~doc:"Delta stream: lines $(b,+ U V) (insert) and $(b,- U V) \
+                     (delete); a blank line or $(b,--) ends a batch; \
+                     $(b,#) starts a comment.")
+  in
+  let mode_arg =
+    C.Arg.(value & opt string "incremental"
+           & info [ "mode" ]
+               ~doc:"incremental (patch the core numbers, instance store and \
+                     flow arena in place) | rebuild (recompute from scratch \
+                     after every batch).  Answers are bit-identical.")
+  in
+  let read_deltas path =
+    let ic = open_in path in
+    let batches = ref [] in
+    let cur = ref [] in
+    let flush () =
+      if !cur <> [] then begin
+        batches := Array.of_list (List.rev !cur) :: !batches;
+        cur := []
+      end
+    in
+    let bad line =
+      Printf.eprintf "dsd watch: bad delta line '%s'\n" line;
+      exit 2
+    in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line = "" || line = "--" then flush ()
+         else if line.[0] = '#' then ()
+         else
+           match
+             List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+           with
+           | [ op; u; v ] -> (
+             match (op, int_of_string_opt u, int_of_string_opt v) with
+             | "+", Some u, Some v ->
+               cur := Dsd_graph.Dynamic.Add (u, v) :: !cur
+             | "-", Some u, Some v ->
+               cur := Dsd_graph.Dynamic.Remove (u, v) :: !cur
+             | _ -> bad line)
+           | _ -> bad line
+       done
+     with End_of_file -> ());
+    close_in ic;
+    flush ();
+    Array.of_list (List.rev !batches)
+  in
+  let run input dataset pattern deltas mode stats trace =
+    let g = load_graph input dataset in
+    let psi = pattern_of_string pattern in
+    let batches = read_deltas deltas in
+    let incremental =
+      match String.lowercase_ascii mode with
+      | "incremental" -> true
+      | "rebuild" -> false
+      | other ->
+        Printf.eprintf "dsd watch: unknown mode %s\n" other;
+        exit 2
+    in
+    with_obs ~stats ~trace (fun () ->
+        (* In incremental mode one session is patched across batches; in
+           rebuild mode the same Dynamic handle tracks the graph but each
+           answer comes from a fresh from-scratch session. *)
+        let session =
+          if incremental then Some (Dsd_core.Inc_dsd.create g psi) else None
+        in
+        let dyn =
+          match session with
+          | Some s -> Dsd_core.Inc_dsd.dynamic s
+          | None -> Dsd_graph.Dynamic.of_graph g
+        in
+        Printf.printf "pattern    %s\n" psi.P.name;
+        Printf.printf "mode       %s\n"
+          (if incremental then "incremental" else "rebuild");
+        Printf.printf "batches    %d\n" (Array.length batches);
+        let answer tag (sg : Dsd_core.Density.subgraph) =
+          print_endline tag;
+          Printf.printf "density    %.6f\n" sg.density;
+          Printf.printf "vertices   %d\n" (Array.length sg.vertices);
+          Array.iter (Printf.printf "%d ") sg.vertices;
+          print_newline ()
+        in
+        let query () =
+          match session with
+          | Some s -> Dsd_core.Inc_dsd.query s
+          | None ->
+            Dsd_core.Inc_dsd.query
+              (Dsd_core.Inc_dsd.create (Dsd_graph.Dynamic.snapshot dyn) psi)
+        in
+        answer "initial" (query ());
+        Array.iteri
+          (fun i batch ->
+            let applied =
+              match session with
+              | Some s -> Dsd_core.Inc_dsd.apply s batch
+              | None -> Dsd_graph.Dynamic.apply dyn batch
+            in
+            answer
+              (Printf.sprintf "batch      %d (%d/%d ops, m=%d)" (i + 1)
+                 applied (Array.length batch) (Dsd_graph.Dynamic.m dyn))
+              (query ()))
+          batches)
+  in
+  let run a b c d e f g = or_die (fun () -> run a b c d e f g) in
+  C.Cmd.v
+    (C.Cmd.info "watch"
+       ~doc:"Stream edge inserts/deletes from a delta file and re-answer \
+             the densest subgraph after every batch.")
+    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ deltas_arg
+            $ mode_arg $ stats_arg $ trace_arg)
+
 (* ---- fuzz ---- *)
 
 let fuzz =
@@ -559,7 +678,7 @@ let client =
            & info [] ~docv:"COMMAND"
                ~doc:"ping | stats | density GRAPH PSI [ALGO] | cds GRAPH PSI \
                      [ALGO] | decompose GRAPH PSI | query GRAPH PSI VERTEX... \
-                     | shutdown")
+                     | delta GRAPH +U,V... -U,V... | shutdown")
   in
   let parse_vertices vs =
     List.map
@@ -587,6 +706,35 @@ let client =
     | "query" :: graph :: psi :: (_ :: _ as vs) ->
       Dsd_serve.Protocol.Query
         { graph; psi; vertices = Array.of_list (parse_vertices vs) }
+    | "delta" :: graph :: (_ :: _ as ops) ->
+      let adds = ref [] and removes = ref [] in
+      List.iter
+        (fun w ->
+          let bad () =
+            Printf.eprintf
+              "dsd client: bad delta op '%s' (want +U,V or -U,V)\n" w;
+            exit 2
+          in
+          if String.length w < 2 then bad ()
+          else
+            match
+              String.split_on_char ','
+                (String.sub w 1 (String.length w - 1))
+            with
+            | [ u; v ] -> (
+              match (int_of_string_opt u, int_of_string_opt v) with
+              | Some u, Some v -> (
+                match w.[0] with
+                | '+' -> adds := (u, v) :: !adds
+                | '-' -> removes := (u, v) :: !removes
+                | _ -> bad ())
+              | _ -> bad ())
+            | _ -> bad ())
+        ops;
+      Dsd_serve.Protocol.Apply_delta
+        { graph;
+          adds = Array.of_list (List.rev !adds);
+          removes = Array.of_list (List.rev !removes) }
     | words ->
       Printf.eprintf "dsd client: bad command '%s'\n" (String.concat " " words);
       exit 2
@@ -604,6 +752,9 @@ let client =
     | Decompose_r { kmax; core } ->
       Printf.printf "kmax = %d\n" kmax;
       Printf.printf "vertices   %d\n" (Array.length core)
+    | Apply_delta_r { n; m; added; removed } ->
+      Printf.printf "graph      n=%d m=%d\n" n m;
+      Printf.printf "applied    +%d -%d\n" added removed
     | Stats_r { counters; cache; graphs } ->
       List.iter (fun line -> Printf.printf "graph      %s\n" line) graphs;
       List.iter (fun (k, v) -> Printf.printf "cache.%-20s %8d\n" k v) cache;
@@ -678,5 +829,5 @@ let () =
   exit
     (C.Cmd.eval
        (C.Cmd.group info
-          [ generate; stats; decompose; cds; query; fuzz; truss; patterns;
-            snapshot; serve; client ]))
+          [ generate; stats; decompose; cds; query; watch; fuzz; truss;
+            patterns; snapshot; serve; client ]))

@@ -1,0 +1,128 @@
+module G = Dsd_graph.Graph
+module Dyn = Dsd_graph.Dynamic
+module Prng = Dsd_util.Prng
+
+type script = Dyn.op array array
+
+(* Scripts are generated against a model of the evolving edge set so
+   deletes usually target a real edge; a sprinkle of duplicate inserts,
+   self-loops and absent deletes is kept deliberately — the no-op
+   paths are part of the contract under test. *)
+
+module S = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let norm u v = if u <= v then (u, v) else (v, u)
+
+let model_of_edges edges =
+  Array.fold_left (fun s (u, v) -> S.add (norm u v) s) S.empty edges
+
+let gen_op rng n model =
+  let roll = Prng.int rng 10 in
+  if roll = 0 then begin
+    (* deliberate no-op material: self-loop or random (maybe absent) delete *)
+    let v = Prng.int rng n in
+    if Prng.bool rng then Dyn.Add (v, v)
+    else
+      let u, w = Prng.pair_distinct rng n in
+      Dyn.Remove (u, w)
+  end
+  else if roll <= 5 || S.is_empty !model then begin
+    let u, v = Prng.pair_distinct rng n in
+    model := S.add (norm u v) !model;
+    Dyn.Add (u, v)
+  end
+  else begin
+    let edges = Array.of_seq (S.to_seq !model) in
+    let u, v = edges.(Prng.int rng (Array.length edges)) in
+    model := S.remove (norm u v) !model;
+    Dyn.Remove (u, v)
+  end
+
+let generate rng g =
+  let n = G.n g in
+  if n < 2 then [||]
+  else begin
+    let model = ref (model_of_edges (G.edges g)) in
+    let batches = 1 + Prng.int rng 3 in
+    Array.init batches (fun _ ->
+        let ops = 1 + Prng.int rng 5 in
+        Array.init ops (fun _ -> gen_op rng n model))
+  end
+
+(* The pure model of applying a script: the edge set a from-scratch
+   rebuild should see.  Mirrors Dynamic's no-op semantics. *)
+let final_edges ~n edges script =
+  let s = ref (model_of_edges edges) in
+  Array.iter
+    (Array.iter (fun op ->
+         match op with
+         | Dyn.Add (u, v) ->
+           if u <> v && u >= 0 && u < n && v >= 0 && v < n then
+             s := S.add (norm u v) !s
+         | Dyn.Remove (u, v) -> s := S.remove (norm u v) !s))
+    script;
+  Array.of_seq (S.to_seq !s)
+
+let op_to_string = function
+  | Dyn.Add (u, v) -> Printf.sprintf "+%d,%d" u v
+  | Dyn.Remove (u, v) -> Printf.sprintf "-%d,%d" u v
+
+let to_string (script : script) =
+  script
+  |> Array.map (fun batch ->
+         String.concat " " (Array.to_list (Array.map op_to_string batch)))
+  |> Array.to_list
+  |> String.concat " | "
+
+(* Greedy shrinking: repeatedly try dropping a whole batch, then a
+   single op, keeping any reduction under which the failure persists;
+   stop at a fixpoint.  [still_fails] must be deterministic (the
+   relations re-derive their randomness from the recorded seed), so
+   the minimized script replays the same violation. *)
+let shrink (script : script) ~still_fails =
+  let drop_batch s i =
+    Array.of_list
+      (List.filteri (fun j _ -> j <> i) (Array.to_list s))
+  in
+  let drop_op s i j =
+    Array.mapi
+      (fun bi batch ->
+        if bi <> i then batch
+        else
+          Array.of_list
+            (List.filteri (fun oj _ -> oj <> j) (Array.to_list batch)))
+      s
+  in
+  let current = ref script in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (* whole batches first: biggest reductions early *)
+    let bi = ref 0 in
+    while !bi < Array.length !current do
+      let candidate = drop_batch !current !bi in
+      if still_fails candidate then begin
+        current := candidate;
+        progress := true
+      end
+      else incr bi
+    done;
+    let i = ref 0 in
+    while !i < Array.length !current do
+      let j = ref 0 in
+      while !j < Array.length !current.(!i) do
+        let candidate = drop_op !current !i !j in
+        if still_fails candidate then begin
+          current := candidate;
+          progress := true
+        end
+        else incr j
+      done;
+      incr i
+    done
+  done;
+  !current

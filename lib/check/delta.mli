@@ -1,0 +1,32 @@
+(** Delta scripts: randomized edge insert/delete streams for the
+    incremental subsystem, with a pure application model, a printer
+    for failure messages, and a greedy shrinker so a failing stream
+    minimizes and replays.
+
+    Used by the [delta-equals-rebuild] relation and the
+    [test_incremental] battery. *)
+
+(** Batches of ops, applied in order. *)
+type script = Dsd_graph.Dynamic.op array array
+
+(** [generate rng g] derives a small script (1-3 batches of 1-6 ops)
+    for the case graph: inserts of random pairs, deletes biased
+    towards edges that actually exist, and a sprinkle of deliberate
+    no-ops (self-loops, duplicate inserts, absent deletes).  Empty on
+    graphs with fewer than two vertices. *)
+val generate : Dsd_util.Prng.t -> Dsd_graph.Graph.t -> script
+
+(** [final_edges ~n edges script] is the edge set after applying the
+    script to [edges] in the pure model — what a from-scratch rebuild
+    must see.  Mirrors {!Dsd_graph.Dynamic}'s no-op semantics. *)
+val final_edges :
+  n:int -> (int * int) array -> script -> (int * int) array
+
+(** Compact one-line rendering (ops as [+u,v]/[-u,v], batches
+    separated by [|]) for failure messages. *)
+val to_string : script -> string
+
+(** [shrink script ~still_fails] greedily drops batches and single ops
+    while the (deterministic) failure predicate keeps holding, to a
+    fixpoint. *)
+val shrink : script -> still_fails:(script -> bool) -> script

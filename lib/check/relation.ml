@@ -403,6 +403,177 @@ let serve_equals_api =
         | [] -> Pass
         | msgs -> Fail (String.concat "; " msgs)) }
 
+(* ---- deleting an edge is monotone downward (dual of
+   edge-monotonicity: removing an edge can only destroy instances) ---- *)
+
+let edge_deletion_monotonicity =
+  { name = "edge-deletion-monotonicity";
+    check =
+      (fun subject ~rng (c : Generator.case) ->
+        let g = c.graph in
+        let edges = G.edges g in
+        if Array.length edges = 0 then Skip "graph has no edges"
+        else begin
+          let u, v = edges.(Prng.int rng (Array.length edges)) in
+          let smaller =
+            G.of_edges ~n:(G.n g)
+              (Array.of_seq
+                 (Seq.filter
+                    (fun (a, b) ->
+                      not ((a = u && b = v) || (a = v && b = u)))
+                    (Array.to_seq edges)))
+          in
+          let r = rho subject g c.psi in
+          let r' = rho subject smaller c.psi in
+          if r' > r +. eps then
+            failf "deleting edge (%d,%d) increased rho_opt: %.12g -> %.12g" u
+              v r r'
+          else begin
+            let k = Subject.kmax subject g c.psi in
+            let k' = Subject.kmax subject smaller c.psi in
+            if k' > k then
+              failf "deleting edge (%d,%d) increased kmax: %d -> %d" u v k k'
+            else Pass
+          end
+        end) }
+
+(* ---- incremental sessions equal a from-scratch rebuild ----
+
+   A random delta script (Delta.generate) is streamed into a fresh
+   server State through the wire codec, one Apply_delta frame per op
+   so interleaved add/remove order survives the "inserts before
+   deletes" endpoint convention.  After every batch the served
+   "incremental" density/cds answers (patched Inc_dsd arena, LRU in
+   front) must be bit-identical to a fresh Inc_dsd session on the
+   rebuilt graph, the density must equal CoreExact on the rebuild, and
+   Decompose must return the rebuild's core numbers.  Issuing the same
+   cacheable requests across batches also proves the per-graph cache
+   invalidation: a stale LRU entry would surface as a mismatch on the
+   next batch.  On failure the script is shrunk (the whole run is a
+   deterministic function of the script) and printed for replay. *)
+
+let delta_equals_rebuild =
+  let module Sv = Dsd_serve.State in
+  let module Pr = Dsd_serve.Protocol in
+  let roundtrip state req =
+    let tag, body = Pr.encode_request req in
+    let req = Pr.decode_request tag body in
+    let resp = Sv.handle state req in
+    let rtag, rbody = Pr.encode_response resp in
+    Pr.decode_response rtag rbody
+  in
+  { name = "delta-equals-rebuild";
+    check =
+      (fun subject ~rng (c : Generator.case) ->
+        if c.psi.P.kind <> P.Clique then
+          Skip "incremental sessions are clique-only"
+        else begin
+          let script = Delta.generate rng c.graph in
+          if Array.length script = 0 then
+            Skip "graph too small for a delta script"
+          else begin
+            let n = G.n c.graph in
+            let base_edges = G.edges c.graph in
+            let psi = c.psi.P.name in
+            (* The whole run is a pure function of the script — exactly
+               what the shrinker needs. *)
+            let run (script : Delta.script) =
+              let state = Sv.create ~max_cached:8 [ ("g", c.graph) ] in
+              let bad = ref [] in
+              let push fmt =
+                Printf.ksprintf (fun s -> bad := s :: !bad) fmt
+              in
+              Array.iteri
+                (fun bi batch ->
+                  Array.iter
+                    (fun op ->
+                      let adds, removes =
+                        match op with
+                        | Dsd_graph.Dynamic.Add (u, v) -> ([| (u, v) |], [||])
+                        | Dsd_graph.Dynamic.Remove (u, v) ->
+                          ([||], [| (u, v) |])
+                      in
+                      match
+                        roundtrip state
+                          (Pr.Apply_delta { graph = "g"; adds; removes })
+                      with
+                      | Pr.Apply_delta_r _ -> ()
+                      | Pr.Error_r msg ->
+                        push "batch %d: apply-delta error: %s" bi msg
+                      | _ ->
+                        push "batch %d: unexpected apply-delta response" bi)
+                    batch;
+                  let rebuilt =
+                    G.of_edges ~n
+                      (Delta.final_edges ~n base_edges
+                         (Array.sub script 0 (bi + 1)))
+                  in
+                  let fresh =
+                    Dsd_core.Inc_dsd.query
+                      (Dsd_core.Inc_dsd.create rebuilt c.psi)
+                  in
+                  (match
+                     roundtrip state
+                       (Pr.Cds { graph = "g"; psi; algorithm = "incremental" })
+                   with
+                  | Pr.Cds_r { density; vertices } ->
+                    if density <> fresh.density then
+                      push "batch %d: served density %.17g <> rebuild %.17g"
+                        bi density fresh.density
+                    else if vertices <> fresh.vertices then
+                      push "batch %d: served CDS vertex set differs from rebuild"
+                        bi
+                  | Pr.Error_r msg -> push "batch %d: cds error: %s" bi msg
+                  | _ -> push "batch %d: unexpected cds response" bi);
+                  (match
+                     roundtrip state
+                       (Pr.Density
+                          { graph = "g"; psi; algorithm = "incremental" })
+                   with
+                  | Pr.Density_r d ->
+                    if d <> fresh.density then
+                      push "batch %d: served density %.17g <> rebuild %.17g"
+                        bi d fresh.density
+                  | Pr.Error_r msg ->
+                    push "batch %d: density error: %s" bi msg
+                  | _ -> push "batch %d: unexpected density response" bi);
+                  let d_core =
+                    (subject.Subject.core_exact rebuilt c.psi).density
+                  in
+                  if fresh.density <> d_core then
+                    push "batch %d: incremental density %.17g <> CoreExact %.17g"
+                      bi fresh.density d_core;
+                  (match
+                     roundtrip state (Pr.Decompose { graph = "g"; psi })
+                   with
+                  | Pr.Decompose_r { kmax; core } ->
+                    let api_core =
+                      subject.Subject.core_numbers rebuilt c.psi
+                    in
+                    if core <> api_core then
+                      push "batch %d: served core numbers differ from rebuild"
+                        bi
+                    else if kmax <> Subject.kmax subject rebuilt c.psi then
+                      push "batch %d: served kmax %d differs from rebuild" bi
+                        kmax
+                  | Pr.Error_r msg ->
+                    push "batch %d: decompose error: %s" bi msg
+                  | _ -> push "batch %d: unexpected decompose response" bi))
+                script;
+              List.rev !bad
+            in
+            match run script with
+            | [] -> Pass
+            | _ ->
+              let minimal =
+                Delta.shrink script ~still_fails:(fun s -> run s <> [])
+              in
+              failf "%s [delta script: %s]"
+                (String.concat "; " (run minimal))
+                (Delta.to_string minimal)
+          end
+        end) }
+
 let all =
   [ theorem1_bounds;
     approx_ratio;
@@ -414,6 +585,8 @@ let all =
     exact_vs_brute;
     planted_certificate;
     serve_equals_api;
+    edge_deletion_monotonicity;
+    delta_equals_rebuild;
   ]
 
 let find name = List.find_opt (fun r -> r.name = name) all

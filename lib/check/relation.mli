@@ -27,7 +27,14 @@
                              enumeration on small graphs
     - [planted-certificate]  rho_opt ≥ the density of the certificate
                              subset (sound for any subset; sharp for
-                             planted blocks) *)
+                             planted blocks)
+    - [edge-deletion-monotonicity]  deleting an edge never increases
+                             rho_opt or kmax (dual of edge-monotonicity)
+    - [delta-equals-rebuild] streaming a random delta script through
+                             the serve codec and the patched
+                             incremental sessions answers bit-identically
+                             to a from-scratch rebuild after every
+                             batch; failing scripts shrink and print *)
 
 type verdict =
   | Pass

@@ -80,3 +80,117 @@ let reset t =
   t.live_count <- total t;
   Array.fill t.deg 0 t.n 0;
   Array.iter (fun inst -> Array.iter (fun v -> t.deg.(v) <- t.deg.(v) + 1) inst) t.insts
+
+(* Growable variant for the incremental subsystem: instances are
+   appended as edge inserts discover them and retired (tombstoned) as
+   deletes destroy them.  Postings are append-only vectors that may
+   contain dead ids — consumers filter through [is_live] — and dead
+   slots are never reused, so instance ids are stable for the lifetime
+   of the store (the flow arena keys its per-instance arcs by them). *)
+module Dyn = struct
+  type store = {
+    n : int;
+    mutable insts : int array array;     (* id -> members; [||] = unset *)
+    mutable count : int;
+    posting : Dsd_util.Vec.Int.t array;  (* vertex -> ids (may be dead) *)
+    mutable live : Bytes.t;
+    deg : int array;                     (* vertex -> live instance count *)
+    mutable live_count : int;
+  }
+
+  let total t = t.count
+  let live_total t = t.live_count
+  let members t i = t.insts.(i)
+  let is_live t i = i >= 0 && i < t.count && Bytes.get t.live i = '\001'
+  let degree t v = t.deg.(v)
+
+  let append t members =
+    Array.iter
+      (fun v ->
+        if v < 0 || v >= t.n then
+          invalid_arg "Instance_store.Dyn.append: vertex out of range")
+      members;
+    let id = t.count in
+    if id >= Array.length t.insts then begin
+      let grown = Array.make (max 16 (2 * Array.length t.insts)) [||] in
+      Array.blit t.insts 0 grown 0 (Array.length t.insts);
+      t.insts <- grown
+    end;
+    if id >= Bytes.length t.live then begin
+      let grown = Bytes.make (max 16 (2 * Bytes.length t.live)) '\000' in
+      Bytes.blit t.live 0 grown 0 (Bytes.length t.live);
+      t.live <- grown
+    end;
+    t.insts.(id) <- members;
+    Bytes.set t.live id '\001';
+    t.count <- t.count + 1;
+    t.live_count <- t.live_count + 1;
+    Array.iter
+      (fun v ->
+        Dsd_util.Vec.Int.push t.posting.(v) id;
+        t.deg.(v) <- t.deg.(v) + 1)
+      members;
+    id
+
+  let retire t i =
+    if not (is_live t i) then false
+    else begin
+      Bytes.set t.live i '\000';
+      t.live_count <- t.live_count - 1;
+      Array.iter (fun v -> t.deg.(v) <- t.deg.(v) - 1) t.insts.(i);
+      true
+    end
+
+  let iter_live_of_vertex t v ~f =
+    Dsd_util.Vec.Int.iter (fun i -> if is_live t i then f i) t.posting.(v)
+
+  (* Retire every live instance containing both endpoints of a deleted
+     edge.  Scans the shorter posting list; membership of the other
+     endpoint is a linear probe of the (small, h-sized) member array. *)
+  let retire_edge t u v ~f =
+    if u < 0 || u >= t.n || v < 0 || v >= t.n then
+      invalid_arg "Instance_store.Dyn.retire_edge: vertex out of range";
+    let scan, other =
+      if
+        Dsd_util.Vec.Int.length t.posting.(u)
+        <= Dsd_util.Vec.Int.length t.posting.(v)
+      then (u, v)
+      else (v, u)
+    in
+    let retired = ref 0 in
+    let hits = ref [] in
+    iter_live_of_vertex t scan ~f:(fun i ->
+        if Array.exists (fun w -> w = other) t.insts.(i) then hits := i :: !hits);
+    List.iter
+      (fun i ->
+        if retire t i then begin
+          incr retired;
+          f i
+        end)
+      !hits;
+    !retired
+
+  (* All live instances in id (append) order — the canonical input for
+     rebuilding a compacted store or arena. *)
+  let live_members t =
+    let acc = ref [] in
+    for i = t.count - 1 downto 0 do
+      if is_live t i then acc := t.insts.(i) :: !acc
+    done;
+    Array.of_list !acc
+
+  let create ~n insts =
+    let t =
+      {
+        n;
+        insts = Array.make (max 16 (2 * Array.length insts)) [||];
+        count = 0;
+        posting = Array.init (max 1 n) (fun _ -> Dsd_util.Vec.Int.create ~capacity:4 ());
+        live = Bytes.make (max 16 (2 * Array.length insts)) '\000';
+        deg = Array.make (max 1 n) 0;
+        live_count = 0;
+      }
+    in
+    Array.iter (fun m -> ignore (append t m)) insts;
+    t
+end

@@ -51,3 +51,45 @@ val iter_live_of_vertex : t -> int -> f:(int -> unit) -> unit
 
 (** [reset t] revives all instances and restores initial degrees. *)
 val reset : t -> unit
+
+(** Growable store for the incremental subsystem: instances are
+    appended as edge inserts discover them and tombstoned as deletes
+    destroy them.  Ids are append-ordered and never reused, so the
+    incremental flow arena can key per-instance arcs by them; postings
+    are append-only and may contain dead ids (iteration filters on
+    liveness). *)
+module Dyn : sig
+  type store
+
+  (** [create ~n instances] starts from the given live instances,
+      appended in order (ids [0 .. length-1]). *)
+  val create : n:int -> int array array -> store
+
+  (** Total ids allocated so far (live and dead). *)
+  val total : store -> int
+
+  val live_total : store -> int
+  val members : store -> int -> int array
+  val is_live : store -> int -> bool
+
+  (** Number of live instances containing [v]. *)
+  val degree : store -> int -> int
+
+  (** [append t members] registers a new live instance; returns its id. *)
+  val append : store -> int array -> int
+
+  (** [retire t i] tombstones instance [i], decrementing member
+      degrees; returns [false] if it was already dead. *)
+  val retire : store -> int -> bool
+
+  (** [retire_edge t u v ~f] retires every live instance containing
+      both [u] and [v] (the instances destroyed by deleting edge
+      [(u,v)]), calling [f] with each retired id.  Returns the count. *)
+  val retire_edge : store -> int -> int -> f:(int -> unit) -> int
+
+  val iter_live_of_vertex : store -> int -> f:(int -> unit) -> unit
+
+  (** Live instances' member arrays in id order — the input for
+      rebuilding a compacted arena. *)
+  val live_members : store -> int array array
+end

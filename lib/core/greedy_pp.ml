@@ -24,31 +24,70 @@ let run ?(rounds = 8) g psi =
     let best = ref Density.empty in
     let densities = Array.make rounds 0. in
     let order = Array.make n 0 in
+    (* Deduplicate co-member notifications per deletion (one final-key
+       update per touched vertex, as in Clique_core's peel). *)
+    let stamp = Array.make n (-1) in
+    let touched = Dsd_util.Vec.Int.create () in
+    let ops = ref 0 in
     for round = 0 to rounds - 1 do
       if round > 0 then Dsd_clique.Instance_store.reset store;
-      (* Loads grow across rounds; degrees are bounded by mu, so keys
-         need the lazy heap, not a bucket array. *)
-      let heap = Dsd_util.Lazy_heap.create ~n in
-      for v = 0 to n - 1 do
-        Dsd_util.Lazy_heap.add heap ~item:v
-          ~key:(loads.(v) + Dsd_clique.Instance_store.degree store v)
-      done;
+      (* Round 1 is PeelApp bit-for-bit: all loads are zero, so keys
+         are plain degrees and the same bucket queue (same tie order)
+         as Clique_core's sequential peel applies.  Later rounds need
+         the lazy heap — loads grow past any bucket bound. *)
+      let pop, update, mem =
+        if round = 0 then begin
+          let max_deg = ref 1 in
+          for v = 0 to n - 1 do
+            let d = Dsd_clique.Instance_store.degree store v in
+            if d > !max_deg then max_deg := d
+          done;
+          let q = Dsd_util.Bucket_queue.create ~n ~max_key:!max_deg in
+          for v = 0 to n - 1 do
+            Dsd_util.Bucket_queue.add q ~item:v
+              ~key:(Dsd_clique.Instance_store.degree store v)
+          done;
+          ( (fun () -> Dsd_util.Bucket_queue.pop_min q),
+            (fun u key -> Dsd_util.Bucket_queue.update q ~item:u ~key),
+            fun u -> Dsd_util.Bucket_queue.mem q u )
+        end
+        else begin
+          let heap = Dsd_util.Lazy_heap.create ~n in
+          for v = 0 to n - 1 do
+            Dsd_util.Lazy_heap.add heap ~item:v
+              ~key:(loads.(v) + Dsd_clique.Instance_store.degree store v)
+          done;
+          ( (fun () -> Dsd_util.Lazy_heap.pop_min heap),
+            (fun u key -> Dsd_util.Lazy_heap.update heap ~item:u ~key),
+            fun u -> Dsd_util.Lazy_heap.mem heap u )
+        end
+      in
       let mu_live = ref mu_total in
       let best_density = ref (float_of_int mu_total /. float_of_int n) in
       let best_start = ref 0 in
       for i = 0 to n - 1 do
-        match Dsd_util.Lazy_heap.pop_min heap with
+        match pop () with
         | None -> assert false
         | Some (v, _key) ->
           order.(i) <- v;
           let deg_v = Dsd_clique.Instance_store.degree store v in
           loads.(v) <- loads.(v) + deg_v;
+          incr ops;
+          let tag = !ops in
+          Dsd_util.Vec.Int.clear touched;
           let killed =
             Dsd_clique.Instance_store.kill_vertex store v ~on_comember:(fun u ->
-                if Dsd_util.Lazy_heap.mem heap u then
-                  Dsd_util.Lazy_heap.update heap ~item:u
-                    ~key:(loads.(u) + Dsd_clique.Instance_store.degree store u))
+                if stamp.(u) <> tag then begin
+                  stamp.(u) <- tag;
+                  Dsd_util.Vec.Int.push touched u
+                end)
           in
+          Dsd_util.Vec.Int.iter
+            (fun u ->
+              if mem u then
+                update u
+                  (loads.(u) + Dsd_clique.Instance_store.degree store u))
+            touched;
           mu_live := !mu_live - killed;
           if i < n - 1 then begin
             let d = float_of_int !mu_live /. float_of_int (n - i - 1) in

@@ -1,9 +1,9 @@
 type t = {
-  n : int;
+  mutable n : int;
   dst : Dsd_util.Vec.Int.t;        (* arc -> head node *)
   cap : Dsd_util.Vec.Float.t;      (* arc -> capacity *)
   flow : Dsd_util.Vec.Float.t;     (* arc -> current flow (may be < 0 on twins) *)
-  out : Dsd_util.Vec.Int.t array;  (* node -> arc ids *)
+  mutable out : Dsd_util.Vec.Int.t array;  (* node -> arc ids *)
   mutable edges : int;
   (* Scratch for [restore_arc]'s path searches: a node is visited in
      the current search iff [drain_mark.(u) = drain_epoch], so starting
@@ -30,6 +30,22 @@ let create n =
 let node_count t = t.n
 let edge_count t = t.edges
 let arc_count t = Dsd_util.Vec.Int.length t.dst
+
+let add_node t =
+  let id = t.n in
+  if id >= Array.length t.out then begin
+    let old = t.out in
+    let grown =
+      Array.init
+        (max 4 (2 * Array.length old))
+        (fun i ->
+          if i < Array.length old then old.(i)
+          else Dsd_util.Vec.Int.create ~capacity:2 ())
+    in
+    t.out <- grown
+  end;
+  t.n <- t.n + 1;
+  id
 
 let add_edge t ~src ~dst ~cap =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
@@ -162,4 +178,193 @@ let restore_arc t ~s e =
     done;
     Dsd_obs.Counter.add Dsd_obs.Counter.Flow_excess_drained !paths;
     !paths
+  end
+
+(* Walk forwards from [v] towards [dst] along arcs with committed
+   positive flow — the mirror image of [drain_path], used to repair the
+   *head* side of a lowered arc by cancelling downstream flow. *)
+let rec drain_path_fwd t ~dst u path =
+  if u = dst then Some path
+  else begin
+    t.drain_mark.(u) <- t.drain_epoch;
+    let arcs = t.out.(u) in
+    let len = Dsd_util.Vec.Int.length arcs in
+    let result = ref None in
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i < len do
+      let a = Dsd_util.Vec.Int.get arcs !i in
+      incr i;
+      if arc_flow t a > eps then begin
+        let w = arc_dst t a in
+        if t.drain_mark.(w) <> t.drain_epoch then
+          match drain_path_fwd t ~dst w (a :: path) with
+          | Some _ as r ->
+            result := r;
+            found := true
+          | None -> ()
+      end
+    done;
+    !result
+  end
+
+let ensure_drain_mark t =
+  if Array.length t.drain_mark < t.n then begin
+    t.drain_mark <- Array.make t.n 0;
+    t.drain_epoch <- 0
+  end
+
+(* [v] receives [amount] more flow than it sends (a lowered *outgoing*
+   arc left it with a surplus): cancel incoming flow back to [s], or
+   around flow-carrying cycles through [v] when the inflow is purely
+   circulatory. *)
+let drain_surplus t ~s v amount =
+  let remaining = ref amount in
+  let paths = ref 0 in
+  while !remaining > eps do
+    t.drain_epoch <- t.drain_epoch + 1;
+    let path =
+      match drain_path t ~s v [] with
+      | Some _ as p -> p
+      | None ->
+        (* All remaining inflow circulates through [v]: pick an in-arc
+           and walk its upstream side back around to [v]. *)
+        let arcs = t.out.(v) in
+        let len = Dsd_util.Vec.Int.length arcs in
+        let cycle = ref None in
+        let i = ref 0 in
+        while !cycle = None && !i < len do
+          let a = Dsd_util.Vec.Int.get arcs !i in
+          incr i;
+          if arc_flow t a < -.eps then begin
+            t.drain_epoch <- t.drain_epoch + 1;
+            match drain_path t ~s:v (arc_dst t a) [ a ] with
+            | Some _ as p -> cycle := p
+            | None -> ()
+          end
+        done;
+        !cycle
+    in
+    match path with
+    | None ->
+      invalid_arg "Flow_network.drain_surplus: no flow-carrying path or cycle"
+    | Some path ->
+      let bottleneck =
+        List.fold_left
+          (fun acc a -> Float.min acc (-.arc_flow t a))
+          !remaining path
+      in
+      List.iter (fun a -> push t a bottleneck) path;
+      remaining := !remaining -. bottleneck;
+      incr paths
+  done;
+  !paths
+
+(* [v] sends [amount] more flow than it receives (a lowered *incoming*
+   arc left it with a deficit): cancel outgoing flow forward to the
+   sink, or around flow-carrying cycles through [v]. *)
+let drain_deficit t ~sink v amount =
+  let remaining = ref amount in
+  let paths = ref 0 in
+  while !remaining > eps do
+    t.drain_epoch <- t.drain_epoch + 1;
+    let path =
+      match drain_path_fwd t ~dst:sink v [] with
+      | Some _ as p -> p
+      | None ->
+        let arcs = t.out.(v) in
+        let len = Dsd_util.Vec.Int.length arcs in
+        let cycle = ref None in
+        let i = ref 0 in
+        while !cycle = None && !i < len do
+          let a = Dsd_util.Vec.Int.get arcs !i in
+          incr i;
+          if arc_flow t a > eps then begin
+            t.drain_epoch <- t.drain_epoch + 1;
+            match drain_path_fwd t ~dst:v (arc_dst t a) [ a ] with
+            | Some _ as p -> cycle := p
+            | None -> ()
+          end
+        done;
+        !cycle
+    in
+    match path with
+    | None ->
+      invalid_arg "Flow_network.drain_deficit: no flow-carrying path or cycle"
+    | Some path ->
+      let bottleneck =
+        List.fold_left
+          (fun acc a -> Float.min acc (arc_flow t a))
+          !remaining path
+      in
+      List.iter (fun a -> push t a (-.bottleneck)) path;
+      remaining := !remaining -. bottleneck;
+      incr paths
+  done;
+  !paths
+
+let restore_arc_head t ~sink e =
+  if e < 0 || e >= arc_count t then
+    invalid_arg "Flow_network.restore_arc_head: arc out of range";
+  let excess = arc_flow t e -. arc_cap t e in
+  if excess <= eps then 0
+  else begin
+    (* Pull the arc back to capacity.  The tail must be a
+       non-conserving node (the source); the head is left with a
+       deficit that we repair by cancelling its downstream flow. *)
+    push t e (-.excess);
+    let v = arc_dst t e in
+    ensure_drain_mark t;
+    let paths = drain_deficit t ~sink v excess in
+    Dsd_obs.Counter.add Dsd_obs.Counter.Flow_excess_drained paths;
+    paths
+  end
+
+let restore_arc_full t ~s ~sink e =
+  if e < 0 || e >= arc_count t then
+    invalid_arg "Flow_network.restore_arc_full: arc out of range";
+  let excess = arc_flow t e -. arc_cap t e in
+  if excess <= eps then 0
+  else begin
+    (* An internal arc: pulling it back to capacity leaves a surplus at
+       the tail *and* a deficit at the head; both must be repaired for
+       conservation to hold again.
+
+       Some of the lowered flow may have circulated: the arc fed a path
+       head -> ... -> tail that closed a cycle through it.  That flow
+       can reach neither the source nor the sink, so cancel it first —
+       each head->tail path repairs one unit of both imbalances.  By
+       flow decomposition the remainder splits into equal s->tail and
+       head->sink parts, which the directional drains handle. *)
+    push t e (-.excess);
+    let tail = arc_dst t (e lxor 1) in
+    let head = arc_dst t e in
+    ensure_drain_mark t;
+    let remaining = ref excess in
+    let bridges = ref 0 in
+    let exhausted = ref false in
+    while (not !exhausted) && !remaining > eps do
+      t.drain_epoch <- t.drain_epoch + 1;
+      match drain_path_fwd t ~dst:tail head [] with
+      | None -> exhausted := true
+      | Some path ->
+        let bottleneck =
+          List.fold_left
+            (fun acc a -> Float.min acc (arc_flow t a))
+            !remaining path
+        in
+        List.iter (fun a -> push t a (-.bottleneck)) path;
+        remaining := !remaining -. bottleneck;
+        incr bridges
+    done;
+    let paths =
+      !bridges
+      +
+      if !remaining > eps then
+        drain_surplus t ~s tail !remaining
+        + drain_deficit t ~sink head !remaining
+      else 0
+    in
+    Dsd_obs.Counter.add Dsd_obs.Counter.Flow_excess_drained paths;
+    paths
   end

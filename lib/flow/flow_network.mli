@@ -21,6 +21,12 @@ val node_count : t -> int
 (** Number of [add_edge] calls so far. *)
 val edge_count : t -> int
 
+(** [add_node t] appends a fresh node and returns its id ([node_count]
+    before the call).  Existing arcs, flow and node ids are untouched,
+    so an arena can grow in place between solver runs — the incremental
+    subsystem appends one node per newly discovered pattern instance. *)
+val add_node : t -> int
+
 (** [add_edge t ~src ~dst ~cap] adds a forward arc of capacity [cap]
     (must be ≥ 0; may be [infinity]) and its residual twin.  Returns
     the forward arc id. *)
@@ -70,6 +76,28 @@ val set_cap_carry : t -> int -> float -> unit
     flow-carrying path back to [s] exists (impossible for the excess
     produced by lowering a sink arc of a feasible flow). *)
 val restore_arc : t -> s:int -> int -> int
+
+(** [restore_arc_head t ~sink arc] is the dual of {!restore_arc} for
+    arcs whose {e tail} is the non-conserving source: the arc flow is
+    reduced to the new capacity and the resulting deficit at the arc's
+    head is repaired by cancelling downstream flow forward to [sink]
+    (or around flow-carrying cycles).  Used when a vertex's pattern
+    degree drops and its source arc must shrink under committed flow.
+
+    @raise Invalid_argument if [arc] is out of range or the deficit
+    cannot be cancelled (impossible for a feasible flow, by flow
+    decomposition). *)
+val restore_arc_head : t -> sink:int -> int -> int
+
+(** [restore_arc_full t ~s ~sink arc] repairs an {e internal} arc (both
+    endpoints conserving) lowered under committed flow: flow that
+    circulated around the arc (head-to-tail paths, i.e. broken cycles)
+    is cancelled first — it can reach neither terminal — then the
+    remaining surplus at the tail is drained back to [s] as in
+    {!restore_arc} and the matching deficit at the head is cancelled
+    forward to [sink] as in {!restore_arc_head}.  Used when retiring a
+    pattern instance whose arcs still carry flow. *)
+val restore_arc_full : t -> s:int -> sink:int -> int -> int
 
 (** Remaining residual capacity of an arc. *)
 val residual : t -> int -> float

@@ -13,12 +13,20 @@ type name =
   | Serve_cache_misses
   | Serve_cache_evictions
   | Serve_protocol_errors
+  | Delta_edges_added
+  | Delta_edges_removed
+  | Delta_core_repairs
+  | Delta_instances_added
+  | Delta_instances_retired
+  | Delta_arena_rebuilds
 
 let all =
   [ Flow_augmentations; Flow_level_builds; Peeled_vertices; Clique_instances;
     Core_iterations; Flow_networks_built; Flow_retargets; Flow_warm_starts;
     Flow_excess_drained; Serve_requests; Serve_cache_hits; Serve_cache_misses;
-    Serve_cache_evictions; Serve_protocol_errors ]
+    Serve_cache_evictions; Serve_protocol_errors; Delta_edges_added;
+    Delta_edges_removed; Delta_core_repairs; Delta_instances_added;
+    Delta_instances_retired; Delta_arena_rebuilds ]
 
 let index = function
   | Flow_augmentations -> 0
@@ -35,8 +43,14 @@ let index = function
   | Serve_cache_misses -> 11
   | Serve_cache_evictions -> 12
   | Serve_protocol_errors -> 13
+  | Delta_edges_added -> 14
+  | Delta_edges_removed -> 15
+  | Delta_core_repairs -> 16
+  | Delta_instances_added -> 17
+  | Delta_instances_retired -> 18
+  | Delta_arena_rebuilds -> 19
 
-let slots = 14
+let slots = 20
 
 let to_string = function
   | Flow_augmentations -> "flow_augmentations"
@@ -53,6 +67,12 @@ let to_string = function
   | Serve_cache_misses -> "serve_cache_misses"
   | Serve_cache_evictions -> "serve_cache_evictions"
   | Serve_protocol_errors -> "serve_protocol_errors"
+  | Delta_edges_added -> "delta_edges_added"
+  | Delta_edges_removed -> "delta_edges_removed"
+  | Delta_core_repairs -> "delta_core_repairs"
+  | Delta_instances_added -> "delta_instances_added"
+  | Delta_instances_retired -> "delta_instances_retired"
+  | Delta_arena_rebuilds -> "delta_arena_rebuilds"
 
 (* One atomic per counter: domains striping clique enumeration bump
    these concurrently.  Hot loops either read State.enabled first or

@@ -18,6 +18,12 @@ type name =
   | Serve_cache_misses  (** serve requests that ran a solver *)
   | Serve_cache_evictions (** LRU entries displaced by [--max-cached] *)
   | Serve_protocol_errors (** malformed frames / requests rejected by the server *)
+  | Delta_edges_added     (** edges inserted by incremental delta batches *)
+  | Delta_edges_removed   (** edges deleted by incremental delta batches *)
+  | Delta_core_repairs    (** vertices whose core number an incremental repair moved *)
+  | Delta_instances_added (** pattern instances appended to a live arena *)
+  | Delta_instances_retired (** pattern instances retired from a live arena *)
+  | Delta_arena_rebuilds  (** incremental arenas compacted/rebuilt from scratch *)
 
 val all : name list
 val to_string : name -> string

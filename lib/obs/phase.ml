@@ -21,6 +21,10 @@ let clique_stripe = "clique_stripe"
    the algorithm spans above nest underneath it. *)
 let serve_request = "serve_request"
 
+(* One span per incremental operation (a delta batch applied to a live
+   session, or a query answered from a patched arena). *)
+let incremental = "incremental"
+
 (* The paper's Figure 8/Table 3 attribution buckets, in display
    order. *)
 let breakdown = [ decompose; enumerate; build_network; retarget; flow ]

@@ -86,3 +86,10 @@ let evictions t = t.evictions
 let clear t =
   Hashtbl.reset t.tbl;
   t.clock <- 0
+
+let remove_where t ~f =
+  let victims =
+    Hashtbl.fold (fun key _ acc -> if f key then key :: acc else acc) t.tbl []
+  in
+  List.iter (Hashtbl.remove t.tbl) victims;
+  List.length victims

@@ -40,3 +40,9 @@ val misses : _ t -> int
 val evictions : _ t -> int
 
 val clear : _ t -> unit
+
+(** [remove_where t ~f] drops every entry whose key satisfies [f] —
+    targeted invalidation (e.g. all results of one mutated graph).
+    Dropped entries are not counted as evictions (they were not
+    displaced by capacity pressure).  Returns how many were removed. *)
+val remove_where : _ t -> f:(string -> bool) -> int

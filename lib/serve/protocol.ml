@@ -90,6 +90,7 @@ let tag_cds = 0x04
 let tag_decompose = 0x05
 let tag_query = 0x06
 let tag_shutdown = 0x07
+let tag_apply_delta = 0x08
 let tag_ok = 0x40
 let tag_error = 0x7f
 
@@ -150,6 +151,11 @@ type request =
   | Cds of { graph : string; psi : string; algorithm : string }
   | Decompose of { graph : string; psi : string }
   | Query of { graph : string; psi : string; vertices : int array }
+  | Apply_delta of {
+      graph : string;
+      adds : (int * int) array;
+      removes : (int * int) array;
+    }
   | Shutdown
 
 type response =
@@ -163,8 +169,25 @@ type response =
   | Cds_r of { density : float; vertices : int array }
   | Decompose_r of { kmax : int; core : int array }
   | Query_r of { density : float; vertices : int array }
+  | Apply_delta_r of { n : int; m : int; added : int; removed : int }
   | Shutdown_r
   | Error_r of string
+
+(* Edge pairs travel as a flat int array of even length. *)
+let enc_pairs b pairs =
+  Enc.int b (2 * Array.length pairs);
+  Array.iter
+    (fun (u, v) ->
+      Enc.int b u;
+      Enc.int b v)
+    pairs
+
+let dec_pairs d =
+  let flat = Dec.ints d in
+  if Array.length flat mod 2 <> 0 then err "odd edge-pair array length";
+  Array.init
+    (Array.length flat / 2)
+    (fun i -> (flat.(2 * i), flat.((2 * i) + 1)))
 
 let encode_request req =
   let b = Enc.create () in
@@ -187,6 +210,11 @@ let encode_request req =
       Enc.str b psi;
       Enc.ints b vertices;
       tag_query
+    | Apply_delta { graph; adds; removes } ->
+      Enc.str b graph;
+      enc_pairs b adds;
+      enc_pairs b removes;
+      tag_apply_delta
   in
   (tag, Enc.contents b)
 
@@ -214,6 +242,12 @@ let decode_request tag body =
       let vertices = Dec.ints d in
       Query { graph; psi; vertices }
     end
+    else if tag = tag_apply_delta then begin
+      let graph = Dec.str d in
+      let adds = dec_pairs d in
+      let removes = dec_pairs d in
+      Apply_delta { graph; adds; removes }
+    end
     else err "unknown request tag 0x%02x" tag
   in
   Dec.finish d;
@@ -228,6 +262,7 @@ let kind_cds = 0x04
 let kind_decompose = 0x05
 let kind_query = 0x06
 let kind_shutdown = 0x07
+let kind_apply_delta = 0x08
 
 let encode_kv b (k, v) =
   Enc.str b k;
@@ -276,6 +311,12 @@ let encode_response resp =
       Enc.u8 b kind_query;
       Enc.float b density;
       Enc.ints b vertices
+    | Apply_delta_r { n; m; added; removed } ->
+      Enc.u8 b kind_apply_delta;
+      Enc.int b n;
+      Enc.int b m;
+      Enc.int b added;
+      Enc.int b removed
     | Shutdown_r -> Enc.u8 b kind_shutdown
     | Error_r _ -> assert false);
     (tag_ok, Enc.contents b)
@@ -309,6 +350,13 @@ let decode_response tag body =
         let vertices = Dec.ints d in
         Query_r { density; vertices }
       end
+      else if kind = kind_apply_delta then begin
+        let n = Dec.int d in
+        let m = Dec.int d in
+        let added = Dec.int d in
+        let removed = Dec.int d in
+        Apply_delta_r { n; m; added; removed }
+      end
       else if kind = kind_shutdown then Shutdown_r
       else err "unknown response kind 0x%02x" kind
     end
@@ -321,7 +369,24 @@ let decode_response tag body =
    requests are the same query iff they serialise identically. *)
 let request_key req =
   match req with
-  | Ping | Stats | Shutdown -> None
+  | Ping | Stats | Shutdown | Apply_delta _ -> None
   | Density _ | Cds _ | Decompose _ | Query _ ->
     let tag, body = encode_request req in
     Some (Printf.sprintf "%d:%s" tag body)
+
+(* Recover the graph name a cached result key refers to, for targeted
+   invalidation after a delta.  Every cacheable request's body starts
+   with the graph string, so decoding one string from the key's body
+   suffices; keys that fail to parse return None (and are left alone
+   by invalidation — they cannot exist, but be conservative). *)
+let key_graph key =
+  match String.index_opt key ':' with
+  | None -> None
+  | Some i -> (
+    match int_of_string_opt (String.sub key 0 i) with
+    | Some tag
+      when tag = tag_density || tag = tag_cds || tag = tag_decompose
+           || tag = tag_query -> (
+      let body = String.sub key (i + 1) (String.length key - i - 1) in
+      try Some (Dec.str (Dec.of_string body)) with Error _ -> None)
+    | _ -> None)

@@ -35,6 +35,11 @@ type request =
       (** density plus the witness vertex set *)
   | Decompose of { graph : string; psi : string }
   | Query of { graph : string; psi : string; vertices : int array }
+  | Apply_delta of {
+      graph : string;
+      adds : (int * int) array;
+      removes : (int * int) array;
+    }  (** mutate a served graph in place: inserts, then deletes *)
   | Shutdown
 
 type response =
@@ -48,6 +53,8 @@ type response =
   | Cds_r of { density : float; vertices : int array }
   | Decompose_r of { kmax : int; core : int array }
   | Query_r of { density : float; vertices : int array }
+  | Apply_delta_r of { n : int; m : int; added : int; removed : int }
+      (** post-delta size plus how many ops actually changed the graph *)
   | Shutdown_r
   | Error_r of string
 
@@ -79,5 +86,11 @@ val decode_response : int -> string -> response
 
 (** [request_key r] is a canonical cache key for the cacheable
     requests ([Density]/[Cds]/[Decompose]/[Query]); [None] for the
-    control requests. *)
+    control requests and the [Apply_delta] mutation. *)
 val request_key : request -> string option
+
+(** [key_graph key] recovers the graph name a {!request_key} refers
+    to — the predicate behind per-graph cache invalidation after an
+    [Apply_delta].  [None] on anything that does not parse as a
+    cacheable request's key. *)
+val key_graph : string -> string option

@@ -16,9 +16,16 @@ type psi_state = {
   exact_prepared : Dsd_core.Flow_build.prepared option ref;
 }
 
+(* [g] is the current snapshot; [dyn] (created on the first delta) is
+   the mutable source of truth once the graph starts moving, and
+   [incs] holds the per-psi incremental sessions, which are patched —
+   never dropped — by apply-delta.  [psis] caches are a pure function
+   of the snapshot, so a delta resets them; [incs] survives. *)
 type graph_state = {
-  g : G.t;
+  mutable g : G.t;
   psis : (string, psi_state) Hashtbl.t;
+  mutable dyn : Dsd_graph.Dynamic.t option;
+  incs : (string, Dsd_core.Inc_dsd.t) Hashtbl.t;
 }
 
 type t = {
@@ -37,7 +44,8 @@ let create ?pool ~max_cached graphs =
     (fun (name, g) ->
       if Hashtbl.mem tbl name then
         invalid_arg (Printf.sprintf "State.create: duplicate graph %s" name);
-      Hashtbl.add tbl name { g; psis = Hashtbl.create 8 })
+      Hashtbl.add tbl name
+        { g; psis = Hashtbl.create 8; dyn = None; incs = Hashtbl.create 4 })
     graphs;
   { names = List.map fst graphs;
     tbl;
@@ -80,6 +88,7 @@ let cache_stats t =
 (* ---- validation ---- *)
 
 type lookup = {
+  gs : graph_state;
   ps : psi_state;
 }
 
@@ -94,11 +103,22 @@ let lookup t ~graph ~psi =
   | Some gs -> (
     match P.of_string psi with
     | None -> Error (errorf "unknown pattern %s (see 'dsd patterns')" psi)
-    | Some p -> Ok { ps = psi_state t gs p })
+    | Some p -> Ok { gs; ps = psi_state t gs p })
 
 (* ---- solvers ---- *)
 
-let densest t (ps : psi_state) algorithm =
+(* The per-(graph, psi) incremental session: built once from the
+   current snapshot, then patched in place by apply-delta — across
+   deltas it keeps its flow arena warm, which is its whole point. *)
+let inc_session t (gs : graph_state) (psi : P.t) =
+  match Hashtbl.find_opt gs.incs psi.P.name with
+  | Some s -> s
+  | None ->
+    let s = Dsd_core.Inc_dsd.create ?pool:t.pool gs.g psi in
+    Hashtbl.add gs.incs psi.P.name s;
+    s
+
+let densest t (gs : graph_state) (ps : psi_state) algorithm =
   let pool = t.pool in
   let g = ps.graph and psi = ps.psi in
   match String.lowercase_ascii algorithm with
@@ -126,23 +146,72 @@ let densest t (ps : psi_state) algorithm =
     Ok
       (Dsd_core.Api.densest_subgraph ?pool ~psi ~algorithm:Dsd_core.Api.Core_app
          g)
+  | "incremental" -> (
+    try Ok (Dsd_core.Inc_dsd.query (inc_session t gs psi))
+    with Invalid_argument msg -> Error (errorf "%s" msg))
   | other -> Error (errorf "unknown algorithm %s" other)
+
+(* The apply-delta endpoint: mutate the graph handle, patch every live
+   incremental session with the same ops, refresh the snapshot, and
+   invalidate only this graph's derived state — its (graph, psi)
+   prepared caches and its result-LRU entries.  Other graphs' cached
+   results stay resident (and keep hitting). *)
+let apply_delta t ~graph ~adds ~removes : Protocol.response =
+  match Hashtbl.find_opt t.tbl graph with
+  | None ->
+    errorf "unknown graph %s (serving: %s)" graph (String.concat ", " t.names)
+  | Some gs ->
+    let n = G.n gs.g in
+    let bad (u, v) = u < 0 || u >= n || v < 0 || v >= n in
+    if Array.exists bad adds || Array.exists bad removes then
+      errorf "delta vertex out of range (graph has %d vertices)" n
+    else begin
+      let dyn =
+        match gs.dyn with
+        | Some d -> d
+        | None ->
+          let d = Dsd_graph.Dynamic.of_graph gs.g in
+          gs.dyn <- Some d;
+          d
+      in
+      let added = ref 0 and removed = ref 0 in
+      Array.iter
+        (fun (u, v) -> if Dsd_graph.Dynamic.add_edge dyn u v then incr added)
+        adds;
+      Array.iter
+        (fun (u, v) -> if Dsd_graph.Dynamic.remove_edge dyn u v then incr removed)
+        removes;
+      let ops =
+        Array.append
+          (Array.map (fun (u, v) -> Dsd_graph.Dynamic.Add (u, v)) adds)
+          (Array.map (fun (u, v) -> Dsd_graph.Dynamic.Remove (u, v)) removes)
+      in
+      Hashtbl.iter (fun _ s -> ignore (Dsd_core.Inc_dsd.apply s ops)) gs.incs;
+      gs.g <- Dsd_graph.Dynamic.snapshot dyn;
+      Hashtbl.reset gs.psis;
+      ignore
+        (Lru.remove_where t.results ~f:(fun key ->
+             Protocol.key_graph key = Some graph));
+      Apply_delta_r
+        { n; m = Dsd_graph.Dynamic.m dyn; added = !added; removed = !removed }
+    end
 
 let compute t (req : Protocol.request) : Protocol.response =
   match req with
-  | Ping | Stats | Shutdown -> assert false  (* not cacheable; handled below *)
+  | Ping | Stats | Shutdown | Apply_delta _ ->
+    assert false  (* not cacheable; handled below *)
   | Density { graph; psi; algorithm } -> (
     match lookup t ~graph ~psi with
     | Error e -> e
-    | Ok { ps } -> (
-      match densest t ps algorithm with
+    | Ok { gs; ps } -> (
+      match densest t gs ps algorithm with
       | Error e -> e
       | Ok sg -> Density_r sg.Dsd_core.Density.density))
   | Cds { graph; psi; algorithm } -> (
     match lookup t ~graph ~psi with
     | Error e -> e
-    | Ok { ps } -> (
-      match densest t ps algorithm with
+    | Ok { gs; ps } -> (
+      match densest t gs ps algorithm with
       | Error e -> e
       | Ok sg ->
         Cds_r
@@ -151,7 +220,7 @@ let compute t (req : Protocol.request) : Protocol.response =
   | Decompose { graph; psi } -> (
     match lookup t ~graph ~psi with
     | Error e -> e
-    | Ok { ps } ->
+    | Ok { ps; _ } ->
       let d = Lazy.force ps.decomp in
       Decompose_r
         { kmax = d.Dsd_core.Clique_core.kmax;
@@ -159,7 +228,7 @@ let compute t (req : Protocol.request) : Protocol.response =
   | Query { graph; psi; vertices } -> (
     match lookup t ~graph ~psi with
     | Error e -> e
-    | Ok { ps } ->
+    | Ok { ps; _ } ->
       let n = G.n ps.graph in
       if Array.length vertices = 0 then errorf "query needs at least one vertex"
       else if Array.exists (fun v -> v < 0 || v >= n) vertices then
@@ -204,6 +273,7 @@ let handle t (req : Protocol.request) : Protocol.response =
   match req with
   | Ping -> Pong
   | Shutdown -> Shutdown_r
+  | Apply_delta { graph; adds; removes } -> apply_delta t ~graph ~adds ~removes
   | Stats ->
     Stats_r
       { counters = Counter.snapshot ();

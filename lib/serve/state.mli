@@ -33,7 +33,18 @@ val graphs : t -> (string * Dsd_graph.Graph.t) list
 
 (** [handle t req] answers one request.  Never raises on a well-typed
     request: unknown graphs/patterns/algorithms and invalid query
-    vertices come back as [Protocol.Error_r].  Cacheable requests are
+    vertices come back as [Protocol.Error_r].
+
+    [Apply_delta] mutates the named graph in place: edge inserts are
+    applied before deletes, each patching a {!Dsd_graph.Dynamic}
+    handle and every live incremental session for that graph
+    ({!Dsd_core.Inc_dsd}, created on the first
+    [algorithm = "incremental"] request and kept warm across deltas).
+    Invalidation is targeted — only the mutated graph's prepared
+    (graph, Psi) caches and its result-LRU entries are dropped; other
+    graphs' cached results keep hitting.
+
+    Cacheable requests are
     counted (requests, then one of hit/miss, evictions as they happen)
     in both the internal tallies reported by the [Stats] endpoint and
     the [Serve_*] counters of {!Dsd_obs.Counter}, and each runs under a

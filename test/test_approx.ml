@@ -36,6 +36,39 @@ let peel_at_least_core_prop psi g =
   p.Dsd_core.Peel_app.subgraph.D.density
   >= i.Dsd_core.Inc_app.subgraph.D.density -. 1e-9
 
+(* Greedy++'s best-so-far curve never regresses, starts at PeelApp
+   (round 1 is PeelApp by construction: all loads are zero), and ends
+   at the returned subgraph's density. *)
+let greedy_pp_monotone_prop psi g =
+  let r = Dsd_core.Greedy_pp.run ~rounds:6 g psi in
+  let d = r.Dsd_core.Greedy_pp.densities in
+  let monotone = ref (Array.length d > 0) in
+  for i = 1 to Array.length d - 1 do
+    if d.(i) < d.(i - 1) then monotone := false
+  done;
+  let p = Dsd_core.Peel_app.run g psi in
+  !monotone
+  && d.(0) = p.Dsd_core.Peel_app.subgraph.D.density
+  && d.(Array.length d - 1) = r.Dsd_core.Greedy_pp.subgraph.D.density
+
+(* Streaming meets its 1/(|V_Psi|(1+eps)) guarantee against the
+   brute-force oracle and never overshoots the optimum. *)
+let streaming_bound_prop ~eps psi g =
+  let opt, _ = Helpers.brute_force_densest g psi in
+  let r = Dsd_core.Streaming.run ~eps g psi in
+  let d = r.Dsd_core.Streaming.subgraph.D.density in
+  d >= (opt /. (float_of_int psi.P.size *. (1. +. eps))) -. 1e-9
+  && d <= opt +. 1e-9
+
+let test_streaming_rejects_bad_eps () =
+  let g = Dsd_data.Paper_graphs.path 4 in
+  List.iter
+    (fun eps ->
+      match Dsd_core.Streaming.run ~eps g P.edge with
+      | _ -> Alcotest.failf "eps = %g was accepted" eps
+      | exception Invalid_argument _ -> ())
+    [ 0.; -0.5; -1e9 ]
+
 let test_core_app_finds_hidden_core () =
   (* The kmax-core is a moderately-sized planted block; CoreApp should
      find it while examining a fraction of the graph. *)
@@ -120,7 +153,23 @@ let suite =
     Alcotest.test_case "empty results" `Quick test_empty_results;
     Alcotest.test_case "initial window override" `Quick test_initial_window_override;
     Alcotest.test_case "api layer" `Quick test_api_layer;
+    Alcotest.test_case "streaming rejects eps <= 0" `Quick
+      test_streaming_rejects_bad_eps;
   ]
+  @ List.concat_map
+      (fun (name, psi) ->
+        [
+          Helpers.qtest ~count:25 ("greedy++ monotone, round 1 = peel: " ^ name)
+            (Helpers.small_graph_arb ~max_n:12 ~max_m:36 ())
+            (greedy_pp_monotone_prop psi);
+          Helpers.qtest ~count:20 ("streaming bound eps=0.1: " ^ name)
+            (Helpers.small_graph_arb ~max_n:10 ~max_m:28 ())
+            (streaming_bound_prop ~eps:0.1 psi);
+          Helpers.qtest ~count:20 ("streaming bound eps=0.5: " ^ name)
+            (Helpers.small_graph_arb ~max_n:10 ~max_m:28 ())
+            (streaming_bound_prop ~eps:0.5 psi);
+        ])
+      [ ("edge", P.edge); ("triangle", P.triangle) ]
   @ List.concat_map
       (fun (name, psi) ->
         [

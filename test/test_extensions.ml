@@ -44,13 +44,15 @@ let test_greedy_pp_converges () =
     (many.Dsd_core.Greedy_pp.subgraph.D.density >= 0.98 *. exact.D.density)
 
 let test_greedy_pp_one_round_close_to_peel () =
-  (* Round 1 is a peel; tie-breaking differs from PeelApp's bucket
-     order, so densities agree only approximately. *)
+  (* Round 1 replays PeelApp's bucket peel exactly (all loads are
+     zero), so the one-round result is bit-identical to PeelApp. *)
   let g = Helpers.random_graph ~seed:91 ~max_n:40 ~max_m:160 () in
   let peel = (Dsd_core.Peel_app.run g P.triangle).Dsd_core.Peel_app.subgraph in
   let gpp = Dsd_core.Greedy_pp.run ~rounds:1 g P.triangle in
-  Alcotest.(check bool) "within 20%" true
-    (gpp.Dsd_core.Greedy_pp.subgraph.D.density >= 0.8 *. peel.D.density)
+  Alcotest.(check bool) "density equal" true
+    (gpp.Dsd_core.Greedy_pp.subgraph.D.density = peel.D.density);
+  Alcotest.(check (array int)) "vertices equal" peel.D.vertices
+    gpp.Dsd_core.Greedy_pp.subgraph.D.vertices
 
 (* ---- Streaming ---- *)
 
@@ -215,7 +217,7 @@ let test_dot_export () =
 let suite =
   [
     Alcotest.test_case "greedy++ converges on K2x chain" `Quick test_greedy_pp_converges;
-    Alcotest.test_case "greedy++ round 1 ~ peel" `Quick test_greedy_pp_one_round_close_to_peel;
+    Alcotest.test_case "greedy++ round 1 = peel" `Quick test_greedy_pp_one_round_close_to_peel;
     Alcotest.test_case "streaming pass count" `Slow test_streaming_pass_count;
     Alcotest.test_case "streaming validation" `Quick test_streaming_validation;
     Alcotest.test_case "truss of K_n" `Quick test_truss_complete;

@@ -27,4 +27,5 @@ let () =
       ("ld-decomposition", Test_ld.suite);
       ("directed", Test_directed.suite);
       ("serve", Test_serve.suite);
+      ("incremental", Test_incremental.suite);
     ]

@@ -1,9 +1,9 @@
 # Convenience targets; CI should run `make check`.
 
 .PHONY: all build test test-flow test-warmstart test-metamorphic test-serve \
-	test-incremental fuzz-smoke fuzz-incremental coverage fmt check \
-	bench-phases bench-retarget bench-warmstart bench-serve \
-	bench-incremental clean
+	test-incremental test-topk fuzz-smoke fuzz-incremental fuzz-topk \
+	coverage fmt check bench-phases bench-retarget bench-warmstart \
+	bench-serve bench-incremental bench-topk clean
 
 all: build
 
@@ -44,6 +44,12 @@ test-serve:
 test-incremental:
 	dune exec test/test_main.exe -- test incremental
 
+# The top-k suite on its own: the brute-force oracle differential
+# (h in {2,3}, k in {1,2,3}, pruning on and off bit-identical), the
+# canonical-region fixtures and the disjointness/monotonicity laws.
+test-topk:
+	dune exec test/test_main.exe -- test topk
+
 # A real fuzzing burst: fresh random cases against every relation,
 # bounded by wall clock so `make check` stays fast.  Uses an
 # arbitrary fixed seed; re-roll with FUZZ_SEED=n.
@@ -59,6 +65,16 @@ fuzz-incremental:
 		--relation delta-equals-rebuild
 	dune exec bin/dsd.exe -- fuzz --cases 200 --seed $(FUZZ_SEED) --time-budget 5 \
 		--relation edge-deletion-monotonicity
+
+# A focused burst on the top-k relations only: region disjointness,
+# prefix stability under growing k, and top-1 = CDS density.
+fuzz-topk:
+	dune exec bin/dsd.exe -- fuzz --cases 150 --seed $(FUZZ_SEED) --time-budget 10 \
+		--relation topk-disjointness
+	dune exec bin/dsd.exe -- fuzz --cases 150 --seed $(FUZZ_SEED) --time-budget 10 \
+		--relation topk-prefix-stability
+	dune exec bin/dsd.exe -- fuzz --cases 150 --seed $(FUZZ_SEED) --time-budget 5 \
+		--relation top1-equals-cds
 
 # Line coverage via bisect_ppx, skipped gracefully when the ppx is not
 # installed (the toolchain image does not bake it in, like ocamlformat).
@@ -90,12 +106,15 @@ check:
 	dune build @default @runtest
 	$(MAKE) test-serve
 	$(MAKE) test-incremental
+	$(MAKE) test-topk
 	$(MAKE) fuzz-smoke
 	$(MAKE) fuzz-incremental
-	dune exec bench/main.exe -- --only parallel,retarget,warmstart,serve,incremental --smoke
+	$(MAKE) fuzz-topk
+	dune exec bench/main.exe -- --only parallel,retarget,warmstart,serve,incremental,topk --smoke
 	dune exec bench/compare.exe -- BENCH_warmstart.json
 	dune exec bench/compare.exe -- BENCH_serve.json
 	dune exec bench/compare.exe -- BENCH_incremental.json
+	dune exec bench/compare.exe -- BENCH_topk.json
 
 # Per-phase observability breakdown (Dsd_obs spans/counters).
 bench-phases:
@@ -122,6 +141,12 @@ bench-serve:
 bench-incremental:
 	dune exec bench/main.exe -- --only incremental
 	dune exec bench/compare.exe -- BENCH_incremental.json
+
+# Pruned vs unpruned top-k extraction (writes BENCH_topk.json), then
+# the bit-identical-regions and never-slower gate.
+bench-topk:
+	dune exec bench/main.exe -- --only topk
+	dune exec bench/compare.exe -- BENCH_topk.json
 
 clean:
 	dune clean

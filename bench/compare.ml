@@ -13,6 +13,11 @@
      delta batch must cost at most half a from-scratch recompute
      (and the two answers must never have disagreed) — otherwise the
      arc surgery and core repair are slower than rebuilding.
+   - BENCH_topk.json rows: the pruned extraction must return regions
+     bit-identical to the unpruned one (mismatches = 0) and must not
+     be slower than it — core-based candidate restriction is only
+     sound pruning if it never changes the answer, and only pruning
+     if it never costs time.
 
    Usage: compare [FILE]   (default BENCH_warmstart.json)
    Exits 0 when every row satisfies its gate, 1 otherwise (or when the
@@ -122,6 +127,35 @@ let () =
             (if warm > 0 then float_of_int reset /. float_of_int warm else 0.)
       | _ -> (
         match
+          (float_field line "pruned_s", float_field line "unpruned_s")
+        with
+        | Some pruned, Some unpruned ->
+          incr rows;
+          let label =
+            Printf.sprintf "%s/%s/k=%d"
+              (Option.value (str_field line "graph") ~default:"?")
+              (Option.value (str_field line "pattern") ~default:"?")
+              (Option.value (int_field line "k") ~default:0)
+          in
+          let mismatches =
+            Option.value (int_field line "mismatches") ~default:0
+          in
+          if mismatches > 0 then begin
+            incr bad;
+            Printf.printf "FAIL %-24s %d pruned/unpruned region mismatches\n"
+              label mismatches
+          end
+          else if pruned > unpruned then begin
+            incr bad;
+            Printf.printf "FAIL %-24s pruned %.3fs > unpruned %.3fs\n" label
+              pruned unpruned
+          end
+          else
+            Printf.printf "ok   %-24s pruned %8.3fs <= unpruned %8.3fs  (%.1fx)\n"
+              label pruned unpruned
+              (if pruned > 0. then unpruned /. pruned else 0.)
+        | _ -> (
+        match
           ( float_field line "recompute_s",
             float_field line "incremental_s" )
         with
@@ -166,7 +200,7 @@ let () =
           end
           else
             Printf.printf "ok   %-32s cached %8.1fx faster\n" label speedup
-        | None -> ())))
+        | None -> ()))))
     (read_lines path);
   if !rows = 0 then begin
     Printf.eprintf "compare: no gateable rows in %s\n" path;

@@ -1447,6 +1447,112 @@ let incremental () =
   close_out oc;
   print_endline "\nwrote BENCH_incremental.json"
 
+(* Top-k locally densest extraction: core-pruned per-component rounds
+   vs whole-graph binary searches.  Planted community graphs are the
+   favourable shape — each round's candidate core is one dense block,
+   so the pruned searches run on tiny components while the unpruned
+   mode pays full-graph min cuts every probe.  Both modes run in the
+   same forked child and their regions are compared bitwise; the JSON
+   is gated by bench/compare.ml (zero mismatches, pruned no slower
+   than unpruned). *)
+let topk () =
+  let smoke = !H.smoke in
+  H.section
+    (Printf.sprintf "Top-k LDS — pruned vs unpruned extraction%s"
+       (if smoke then " [smoke]" else ""));
+  let cases =
+    if smoke then
+      [ ("planted_2k",
+         Dsd_data.Gen.planted_clique ~seed:5 ~n:2_000 ~p:0.005 ~clique:25,
+         "triangle", P.triangle, 2) ]
+    else
+      [ ("planted_3k",
+         Dsd_data.Gen.planted_clique ~seed:5 ~n:3_000 ~p:0.004 ~clique:30,
+         "triangle", P.triangle, 3);
+        ("planted_3k",
+         Dsd_data.Gen.planted_clique ~seed:5 ~n:3_000 ~p:0.004 ~clique:30,
+         "edge", P.edge, 3);
+        ("planted_pair",
+         Dsd_data.Gen.disjoint_union
+           (Dsd_data.Gen.planted_clique ~seed:5 ~n:1_500 ~p:0.005 ~clique:30)
+           (Dsd_data.Gen.planted_clique ~seed:9 ~n:1_500 ~p:0.005 ~clique:20),
+         "triangle", P.triangle, 2) ]
+  in
+  let json_rows = ref [] in
+  let rows =
+    List.map
+      (fun (gname, g, pname, psi, k) ->
+        let n = G.n g in
+        let cell =
+          H.run_cell ~timeout:(8. *. !H.default_timeout) (fun () ->
+              let rp, tp =
+                H.timed (fun () -> Dsd_core.Topk_lds.run ~k g psi)
+              in
+              let ru, tu =
+                H.timed (fun () -> Dsd_core.Topk_lds.run ~prune:false ~k g psi)
+              in
+              let mismatches =
+                if
+                  List.length rp.Dsd_core.Topk_lds.regions
+                  = List.length ru.Dsd_core.Topk_lds.regions
+                  && List.for_all2
+                       (fun (a : D.subgraph) (b : D.subgraph) ->
+                         Int64.bits_of_float a.density
+                         = Int64.bits_of_float b.density
+                         && a.vertices = b.vertices)
+                       rp.Dsd_core.Topk_lds.regions
+                       ru.Dsd_core.Topk_lds.regions
+                then 0
+                else 1
+              in
+              Printf.sprintf "%d %.6f %.6f %d %d %d"
+                (List.length rp.Dsd_core.Topk_lds.regions)
+                tp tu rp.Dsd_core.Topk_lds.stats.iterations
+                ru.Dsd_core.Topk_lds.stats.iterations mismatches)
+        in
+        match cell with
+        | H.Ok s ->
+          (match String.split_on_char ' ' (String.trim s) with
+           | [ regions; pruned_s; unpruned_s; pi; ui; mis ] ->
+             let speedup =
+               match
+                 (float_of_string_opt unpruned_s, float_of_string_opt pruned_s)
+               with
+               | Some u, Some p when p > 0. -> Printf.sprintf "%.2f" (u /. p)
+               | _ -> "null"
+             in
+             json_rows :=
+               Printf.sprintf
+                 "    {\"graph\": \"%s\", \"pattern\": \"%s\", \"k\": %d, \
+                  \"n\": %d, \"regions\": %s, \"pruned_s\": %s, \
+                  \"unpruned_s\": %s, \"pruned_iterations\": %s, \
+                  \"unpruned_iterations\": %s, \"speedup\": %s, \
+                  \"mismatches\": %s}"
+                 gname pname k n regions pruned_s unpruned_s pi ui speedup mis
+               :: !json_rows;
+             [ gname; pname; string_of_int k; regions; pruned_s ^ "s";
+               unpruned_s ^ "s"; speedup ^ "x"; mis ]
+           | _ -> [ gname; pname; string_of_int k; String.trim s; "-"; "-";
+                    "-"; "-" ])
+        | other ->
+          [ gname; pname; string_of_int k; H.show_payload other; "-"; "-";
+            "-"; "-" ])
+      cases
+  in
+  H.table
+    ~header:
+      [ "graph"; "pattern"; "k"; "regions"; "pruned"; "unpruned"; "speedup";
+        "mismatch" ]
+    ~rows;
+  let oc = open_out "BENCH_topk.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"topk\",\n  \"smoke\": %b,\n  \"rows\": \
+     [\n%s\n  ]\n}\n"
+    smoke
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  print_endline "\nwrote BENCH_topk.json"
+
 (* ---- registry ---- *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -1478,6 +1584,7 @@ let all : (string * string * (unit -> unit)) list =
     ("warmstart", "warm vs reset flow retargeting (BENCH_warmstart.json)", warmstart);
     ("serve", "cold vs prepared vs cached request latency (BENCH_serve.json)", serve);
     ("incremental", "patch vs recompute on a sliding window (BENCH_incremental.json)", incremental);
+    ("topk", "pruned vs unpruned top-k LDS extraction (BENCH_topk.json)", topk);
     ("ext_truss", "extension: truss vs CDS", ext_truss);
     ("ext_sampled", "future work: sampled approximation", ext_sampled);
     ("ext_atleastk", "future work: densest-at-least-k", ext_atleastk);

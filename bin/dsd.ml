@@ -329,6 +329,50 @@ let query =
     C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ domains_arg
             $ vertices $ stats_arg $ trace_arg $ no_warm_arg)
 
+(* ---- topk: disjoint locally densest regions ---- *)
+
+let topk =
+  let k_arg =
+    C.Arg.(value & opt int 3
+           & info [ "k" ] ~docv:"K"
+               ~doc:"How many disjoint regions to extract.")
+  in
+  let no_prune_arg =
+    C.Arg.(value & flag
+           & info [ "no-prune" ]
+               ~doc:"Disable core-based candidate pruning (whole-graph \
+                     binary search every round; same answer, more work).")
+  in
+  let run input dataset pattern domains k no_prune stats trace no_warm =
+    let g = load_graph input dataset in
+    let psi = pattern_of_string pattern in
+    let r =
+      with_obs ~stats ~trace (fun () ->
+          with_domains domains (fun pool ->
+              Dsd_core.Topk_lds.run ~pool ~warm:(not no_warm)
+                ~prune:(not no_prune) ~k g psi))
+    in
+    Printf.printf "pattern    %s\n" psi.P.name;
+    Printf.printf "regions    %d\n" (List.length r.Dsd_core.Topk_lds.regions);
+    Printf.printf "time       %.3fs (%d rounds, %d min-cuts, %d pruned)\n"
+      r.Dsd_core.Topk_lds.stats.elapsed_s r.Dsd_core.Topk_lds.stats.rounds
+      r.Dsd_core.Topk_lds.stats.iterations
+      r.Dsd_core.Topk_lds.stats.components_pruned;
+    List.iteri
+      (fun i (sg : Dsd_core.Density.subgraph) ->
+        Printf.printf "region %d   density %.6f, %d vertices\n" (i + 1)
+          sg.density (Array.length sg.vertices);
+        Array.iter (Printf.printf "%d ") sg.vertices;
+        print_newline ())
+      r.Dsd_core.Topk_lds.regions
+  in
+  let run a b c d e f g h i = or_die (fun () -> run a b c d e f g h i) in
+  C.Cmd.v
+    (C.Cmd.info "topk"
+       ~doc:"Top-k pairwise-disjoint locally densest subgraphs.")
+    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ domains_arg
+            $ k_arg $ no_prune_arg $ stats_arg $ trace_arg $ no_warm_arg)
+
 (* ---- watch: re-answer the CDS over an edge-delta stream ---- *)
 
 let watch =
@@ -678,7 +722,8 @@ let client =
            & info [] ~docv:"COMMAND"
                ~doc:"ping | stats | density GRAPH PSI [ALGO] | cds GRAPH PSI \
                      [ALGO] | decompose GRAPH PSI | query GRAPH PSI VERTEX... \
-                     | delta GRAPH +U,V... -U,V... | shutdown")
+                     | topk GRAPH PSI K | delta GRAPH +U,V... -U,V... \
+                     | shutdown")
   in
   let parse_vertices vs =
     List.map
@@ -703,6 +748,12 @@ let client =
     | [ "cds"; graph; psi; algorithm ] ->
       Dsd_serve.Protocol.Cds { graph; psi; algorithm }
     | [ "decompose"; graph; psi ] -> Dsd_serve.Protocol.Decompose { graph; psi }
+    | [ "topk"; graph; psi; k ] -> (
+      match int_of_string_opt k with
+      | Some k -> Dsd_serve.Protocol.Topk { graph; psi; k }
+      | None ->
+        Printf.eprintf "dsd client: bad k %s\n" k;
+        exit 2)
     | "query" :: graph :: psi :: (_ :: _ as vs) ->
       Dsd_serve.Protocol.Query
         { graph; psi; vertices = Array.of_list (parse_vertices vs) }
@@ -752,6 +803,15 @@ let client =
     | Decompose_r { kmax; core } ->
       Printf.printf "kmax = %d\n" kmax;
       Printf.printf "vertices   %d\n" (Array.length core)
+    | Topk_r { regions } ->
+      Printf.printf "regions    %d\n" (List.length regions);
+      List.iteri
+        (fun i (density, vertices) ->
+          Printf.printf "region %d   density %.6f, %d vertices\n" (i + 1)
+            density (Array.length vertices);
+          Array.iter (Printf.printf "%d ") vertices;
+          print_newline ())
+        regions
     | Apply_delta_r { n; m; added; removed } ->
       Printf.printf "graph      n=%d m=%d\n" n m;
       Printf.printf "applied    +%d -%d\n" added removed
@@ -829,5 +889,5 @@ let () =
   exit
     (C.Cmd.eval
        (C.Cmd.group info
-          [ generate; stats; decompose; cds; query; watch; fuzz; truss;
+          [ generate; stats; decompose; cds; query; topk; watch; fuzz; truss;
             patterns; snapshot; serve; client ]))

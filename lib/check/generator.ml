@@ -118,7 +118,7 @@ let frame_of ~len payload =
 let random_bytes rng n = String.init n (fun _ -> Char.chr (Prng.int rng 256))
 
 let malformed_frame rng =
-  match Prng.int rng 7 with
+  match Prng.int rng 8 with
   | 0 ->
     (* header cut short: fewer than the 4 length bytes *)
     ("truncated-header", random_bytes rng (1 + Prng.int rng 3))
@@ -148,12 +148,33 @@ let malformed_frame rng =
     ("unknown-tag",
      frame_of ~len:(2 + String.length body)
        (Printf.sprintf "\x01%c%s" (Char.chr (0x60 + Prng.int rng 0x1f)) body))
-  | _ ->
-    (* correct version + tag, garbage body *)
+  | 6 ->
+    (* correct version + tag, garbage body — every body-carrying
+       request tag, including apply-delta (0x08) and topk (0x09) *)
+    let tags = [| 0x03; 0x04; 0x05; 0x06; 0x08; 0x09 |] in
     let body = random_bytes rng (1 + Prng.int rng 32) in
     ("garbage-body",
      frame_of ~len:(2 + String.length body)
-       (Printf.sprintf "\x01%c%s" (Char.chr (3 + Prng.int rng 4)) body))
+       (Printf.sprintf "\x01%c%s"
+          (Char.chr tags.(Prng.int rng (Array.length tags))) body))
+  | _ ->
+    (* a topk frame whose body parses as two strings but lies about k:
+       a plausible-looking request the typed layer must still reject *)
+    let b = Buffer.create 32 in
+    let str s =
+      let len = Bytes.create 8 in
+      Bytes.set_int64_be len 0 (Int64.of_int (String.length s));
+      Buffer.add_bytes b len;
+      Buffer.add_string b s
+    in
+    str "g";
+    str "edge";
+    (* k arrives truncated: 1-7 of its 8 bytes *)
+    Buffer.add_string b (random_bytes rng (1 + Prng.int rng 7));
+    let body = Buffer.contents b in
+    ("topk-garbage",
+     frame_of ~len:(2 + String.length body)
+       (Printf.sprintf "\x01\x09%s" body))
 
 let sample rng =
   let gen = List.nth all (Prng.int rng (List.length all)) in

@@ -37,6 +37,65 @@ let brute_force_densest g psi =
   done;
   (!best_density, !best_set)
 
+(* Union of ALL maximum-density subsets — the canonical maximal
+   densest subgraph.  Exact float comparisons are sound here: every
+   density is an int/int quotient with denominator <= 16, and distinct
+   such rationals differ by far more than a ulp, so float equality is
+   rational equality. *)
+let brute_force_maximal_densest g psi =
+  let n = G.n g in
+  assert (n <= 16);
+  let best_density = ref 0. in
+  let union = Array.make (max 1 n) false in
+  for mask = 1 to (1 lsl n) - 1 do
+    let vs = ref [] in
+    for v = n - 1 downto 0 do
+      if mask land (1 lsl v) <> 0 then vs := v :: !vs
+    done;
+    let vs = Array.of_list !vs in
+    let d = density_of_subset g psi vs in
+    if d > !best_density then begin
+      best_density := d;
+      Array.fill union 0 n false;
+      Array.iter (fun v -> union.(v) <- true) vs
+    end
+    else if d = !best_density && d > 0. then
+      Array.iter (fun v -> union.(v) <- true) vs
+  done;
+  let members =
+    Array.of_list (List.filter (fun v -> union.(v)) (List.init n Fun.id))
+  in
+  (!best_density, members)
+
+(* Ground truth for Topk_lds: iterate the canonical maximal densest
+   subgraph on the remaining induced subgraph, mapping back to original
+   ids, until k regions are out or the density hits zero. *)
+let brute_force_topk ~k g psi =
+  let n = G.n g in
+  assert (n <= 16 && k >= 1);
+  let remaining = Array.make (max 1 n) true in
+  let rec go acc j =
+    if j = 0 then List.rev acc
+    else begin
+      let live =
+        Array.of_list
+          (List.filter (fun v -> remaining.(v)) (List.init n Fun.id))
+      in
+      if Array.length live = 0 then List.rev acc
+      else begin
+        let sub, map = G.induced g live in
+        let d, members = brute_force_maximal_densest sub psi in
+        if d = 0. then List.rev acc
+        else begin
+          let members = Array.map (fun v -> map.(v)) members in
+          Array.iter (fun v -> remaining.(v) <- false) members;
+          go ((d, members) :: acc) (j - 1)
+        end
+      end
+    end
+  in
+  go [] k
+
 (* Naive (k, Psi)-core: threshold peeling with full re-enumeration
    after every deletion. *)
 let survivors g psi k =

@@ -23,6 +23,25 @@ val density_of_subset :
 val brute_force_densest :
   Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> float * int array
 
+(** [brute_force_maximal_densest g psi] is the union of {e all}
+    maximum-density subsets — the canonical maximal densest subgraph
+    {!Dsd_core.Topk_lds} extracts each round — with its exact density,
+    by subset enumeration.  [(0., [||])] when mu(G, Psi) = 0.  Exact
+    float comparisons are sound at n <= 16 (asserted): densities are
+    quotients of small ints, so equal floats mean equal rationals. *)
+val brute_force_maximal_densest :
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> float * int array
+
+(** [brute_force_topk ~k g psi] iterates
+    {!brute_force_maximal_densest} on the shrinking remaining graph:
+    the ground-truth top-k locally densest regions, as
+    [(density, vertices)] in extraction order (original vertex ids,
+    each array sorted).  Stops early when the density reaches zero.
+    Only for n <= 16 and k >= 1 (asserted). *)
+val brute_force_topk :
+  k:int -> Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t ->
+  (float * int array) list
+
 (** [survivors g psi k] marks the vertices of the (k, Psi)-core by
     threshold peeling with full re-enumeration after every deletion. *)
 val survivors :

@@ -574,6 +574,102 @@ let delta_equals_rebuild =
           end
         end) }
 
+(* ---- top-k locally densest extraction ---- *)
+
+(* Structural contract of Topk_lds.run: regions are pairwise disjoint,
+   non-empty, of positive density, densities non-increasing, and every
+   reported density is the true Psi-density of the reported vertex set
+   (re-derived by the naive oracle — exact rationals, so equality is
+   bitwise). *)
+let topk_disjointness =
+  { name = "topk-disjointness";
+    check =
+      (fun _subject ~rng (c : Generator.case) ->
+        let k = 1 + Prng.int rng 3 in
+        let r = Dsd_core.Topk_lds.run ~k c.graph c.psi in
+        let seen = Hashtbl.create 16 in
+        let last = ref infinity in
+        let bad = ref [] in
+        let push fmt = Printf.ksprintf (fun s -> bad := s :: !bad) fmt in
+        List.iteri
+          (fun i (sg : Dsd_core.Density.subgraph) ->
+            if Array.length sg.vertices = 0 then push "region %d is empty" i;
+            if sg.density <= 0. then
+              push "region %d has density %.17g <= 0" i sg.density;
+            if sg.density > !last then
+              push "region %d density %.17g exceeds previous %.17g" i
+                sg.density !last;
+            last := sg.density;
+            let oracle = Oracle.density_of_subset c.graph c.psi sg.vertices in
+            if sg.density <> oracle then
+              push "region %d density %.17g but oracle says %.17g" i
+                sg.density oracle;
+            Array.iter
+              (fun v ->
+                if Hashtbl.mem seen v then
+                  push "vertex %d appears in regions %d and %d" v
+                    (Hashtbl.find seen v) i
+                else Hashtbl.add seen v i)
+              sg.vertices)
+          r.Dsd_core.Topk_lds.regions;
+        if List.length r.Dsd_core.Topk_lds.regions > k then
+          push "asked for k=%d but got %d regions" k
+            (List.length r.Dsd_core.Topk_lds.regions);
+        match !bad with
+        | [] -> Pass
+        | msgs -> failf "k=%d: %s" k (String.concat "; " (List.rev msgs))) }
+
+(* Extraction is greedy and canonical, so the run at k - 1 must be
+   exactly the first k - 1 regions of the run at k — no tie-breaking
+   drift between invocations. *)
+let topk_prefix_stability =
+  { name = "topk-prefix-stability";
+    check =
+      (fun _subject ~rng (c : Generator.case) ->
+        let k = 2 + Prng.int rng 2 in
+        let full = (Dsd_core.Topk_lds.run ~k c.graph c.psi).regions in
+        let prefix =
+          (Dsd_core.Topk_lds.run ~k:(k - 1) c.graph c.psi).regions
+        in
+        let rec compare_ i = function
+          | _, [] -> Pass
+          | [], _ :: _ ->
+            failf "k=%d: run at k-1 has more regions than run at k" k
+          | ( (a : Dsd_core.Density.subgraph) :: rest_a,
+              (b : Dsd_core.Density.subgraph) :: rest_b ) ->
+            if Int64.bits_of_float a.density <> Int64.bits_of_float b.density
+            then
+              failf "k=%d region %d: densities drift (%.17g vs %.17g)" k i
+                a.density b.density
+            else if a.vertices <> b.vertices then
+              failf "k=%d region %d: vertex sets drift" k i
+            else compare_ (i + 1) (rest_a, rest_b)
+        in
+        compare_ 0 (full, prefix)) }
+
+(* The first extracted region is the canonical maximal CDS, so its
+   density must be bit-identical to Algorithm 1's rho_opt; an empty
+   extraction is only legal when rho_opt itself is 0. *)
+let top1_equals_cds =
+  { name = "top1-equals-cds";
+    check =
+      (fun subject ~rng:_ (c : Generator.case) ->
+        let exact = subject.Subject.exact c.graph c.psi in
+        match (Dsd_core.Topk_lds.run ~k:1 c.graph c.psi).regions with
+        | [] ->
+          if exact.density = 0. then Pass
+          else
+            failf "no region extracted but Exact finds rho=%.17g"
+              exact.density
+        | [ sg ] ->
+          if Int64.bits_of_float sg.density
+             = Int64.bits_of_float exact.density
+          then Pass
+          else
+            failf "top-1 density %.17g <> Exact rho %.17g" sg.density
+              exact.density
+        | regions -> failf "k=1 returned %d regions" (List.length regions)) }
+
 let all =
   [ theorem1_bounds;
     approx_ratio;
@@ -587,6 +683,9 @@ let all =
     serve_equals_api;
     edge_deletion_monotonicity;
     delta_equals_rebuild;
+    topk_disjointness;
+    topk_prefix_stability;
+    top1_equals_cds;
   ]
 
 let find name = List.find_opt (fun r -> r.name = name) all

@@ -123,6 +123,13 @@ let decompose g (psi : P.t) =
     elapsed_s = Dsd_util.Timer.now_s () -. t0 }
 
 let prefix t i =
+  (* Out-of-range indices used to fall through the recursion and
+     silently return the full vertex set — for i < 0 as well, which is
+     never what the caller meant. *)
+  if i < 0 || i > List.length t.levels then
+    invalid_arg
+      (Printf.sprintf "Ld_decomposition.prefix: index %d not in [0, %d]" i
+         (List.length t.levels));
   let rec take acc k = function
     | [] -> acc
     | _ when k = 0 -> acc

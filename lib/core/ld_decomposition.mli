@@ -26,5 +26,8 @@ type t = {
     first level is the Psi-densest subgraph of [g]. *)
 val decompose : Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> t
 
-(** [prefix t i] is B_i (the union of the first [i] levels), sorted. *)
+(** [prefix t i] is B_i (the union of the first [i] levels), sorted.
+    [prefix t 0 = [||]]; [prefix t (List.length t.levels)] is all of V.
+
+    @raise Invalid_argument when [i < 0] or [i > List.length t.levels]. *)
 val prefix : t -> int -> int array

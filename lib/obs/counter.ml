@@ -19,6 +19,9 @@ type name =
   | Delta_instances_added
   | Delta_instances_retired
   | Delta_arena_rebuilds
+  | Topk_rounds
+  | Topk_components_pruned
+  | Topk_regions
 
 let all =
   [ Flow_augmentations; Flow_level_builds; Peeled_vertices; Clique_instances;
@@ -26,7 +29,8 @@ let all =
     Flow_excess_drained; Serve_requests; Serve_cache_hits; Serve_cache_misses;
     Serve_cache_evictions; Serve_protocol_errors; Delta_edges_added;
     Delta_edges_removed; Delta_core_repairs; Delta_instances_added;
-    Delta_instances_retired; Delta_arena_rebuilds ]
+    Delta_instances_retired; Delta_arena_rebuilds; Topk_rounds;
+    Topk_components_pruned; Topk_regions ]
 
 let index = function
   | Flow_augmentations -> 0
@@ -49,8 +53,11 @@ let index = function
   | Delta_instances_added -> 17
   | Delta_instances_retired -> 18
   | Delta_arena_rebuilds -> 19
+  | Topk_rounds -> 20
+  | Topk_components_pruned -> 21
+  | Topk_regions -> 22
 
-let slots = 20
+let slots = 23
 
 let to_string = function
   | Flow_augmentations -> "flow_augmentations"
@@ -73,6 +80,9 @@ let to_string = function
   | Delta_instances_added -> "delta_instances_added"
   | Delta_instances_retired -> "delta_instances_retired"
   | Delta_arena_rebuilds -> "delta_arena_rebuilds"
+  | Topk_rounds -> "topk_rounds"
+  | Topk_components_pruned -> "topk_components_pruned"
+  | Topk_regions -> "topk_regions"
 
 (* One atomic per counter: domains striping clique enumeration bump
    these concurrently.  Hot loops either read State.enabled first or

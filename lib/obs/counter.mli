@@ -24,6 +24,9 @@ type name =
   | Delta_instances_added (** pattern instances appended to a live arena *)
   | Delta_instances_retired (** pattern instances retired from a live arena *)
   | Delta_arena_rebuilds  (** incremental arenas compacted/rebuilt from scratch *)
+  | Topk_rounds           (** extraction rounds run by the top-k LDS solver *)
+  | Topk_components_pruned (** candidate components skipped by the core bound *)
+  | Topk_regions          (** disjoint locally-densest regions returned *)
 
 val all : name list
 val to_string : name -> string

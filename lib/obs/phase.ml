@@ -25,6 +25,11 @@ let serve_request = "serve_request"
    session, or a query answered from a patched arena). *)
 let incremental = "incremental"
 
+(* One span per top-k locally-densest solve (all extraction rounds of
+   one {!Dsd_core.Topk_lds.run}); decompose/enumerate/flow nest
+   underneath it. *)
+let topk = "topk"
+
 (* The paper's Figure 8/Table 3 attribution buckets, in display
    order. *)
 let breakdown = [ decompose; enumerate; build_network; retarget; flow ]

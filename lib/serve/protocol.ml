@@ -91,6 +91,7 @@ let tag_decompose = 0x05
 let tag_query = 0x06
 let tag_shutdown = 0x07
 let tag_apply_delta = 0x08
+let tag_topk = 0x09
 let tag_ok = 0x40
 let tag_error = 0x7f
 
@@ -156,6 +157,7 @@ type request =
       adds : (int * int) array;
       removes : (int * int) array;
     }
+  | Topk of { graph : string; psi : string; k : int }
   | Shutdown
 
 type response =
@@ -170,6 +172,7 @@ type response =
   | Decompose_r of { kmax : int; core : int array }
   | Query_r of { density : float; vertices : int array }
   | Apply_delta_r of { n : int; m : int; added : int; removed : int }
+  | Topk_r of { regions : (float * int array) list }
   | Shutdown_r
   | Error_r of string
 
@@ -215,6 +218,11 @@ let encode_request req =
       enc_pairs b adds;
       enc_pairs b removes;
       tag_apply_delta
+    | Topk { graph; psi; k } ->
+      Enc.str b graph;
+      Enc.str b psi;
+      Enc.int b k;
+      tag_topk
   in
   (tag, Enc.contents b)
 
@@ -248,6 +256,12 @@ let decode_request tag body =
       let removes = dec_pairs d in
       Apply_delta { graph; adds; removes }
     end
+    else if tag = tag_topk then begin
+      let graph = Dec.str d in
+      let psi = Dec.str d in
+      let k = Dec.int d in
+      Topk { graph; psi; k }
+    end
     else err "unknown request tag 0x%02x" tag
   in
   Dec.finish d;
@@ -263,6 +277,7 @@ let kind_decompose = 0x05
 let kind_query = 0x06
 let kind_shutdown = 0x07
 let kind_apply_delta = 0x08
+let kind_topk = 0x09
 
 let encode_kv b (k, v) =
   Enc.str b k;
@@ -317,6 +332,13 @@ let encode_response resp =
       Enc.int b m;
       Enc.int b added;
       Enc.int b removed
+    | Topk_r { regions } ->
+      Enc.u8 b kind_topk;
+      encode_list b
+        (fun b (density, vertices) ->
+          Enc.float b density;
+          Enc.ints b vertices)
+        regions
     | Shutdown_r -> Enc.u8 b kind_shutdown
     | Error_r _ -> assert false);
     (tag_ok, Enc.contents b)
@@ -357,6 +379,15 @@ let decode_response tag body =
         let removed = Dec.int d in
         Apply_delta_r { n; m; added; removed }
       end
+      else if kind = kind_topk then begin
+        let regions =
+          decode_list d (fun d ->
+              let density = Dec.float d in
+              let vertices = Dec.ints d in
+              (density, vertices))
+        in
+        Topk_r { regions }
+      end
       else if kind = kind_shutdown then Shutdown_r
       else err "unknown response kind 0x%02x" kind
     end
@@ -370,7 +401,7 @@ let decode_response tag body =
 let request_key req =
   match req with
   | Ping | Stats | Shutdown | Apply_delta _ -> None
-  | Density _ | Cds _ | Decompose _ | Query _ ->
+  | Density _ | Cds _ | Decompose _ | Query _ | Topk _ ->
     let tag, body = encode_request req in
     Some (Printf.sprintf "%d:%s" tag body)
 
@@ -386,7 +417,7 @@ let key_graph key =
     match int_of_string_opt (String.sub key 0 i) with
     | Some tag
       when tag = tag_density || tag = tag_cds || tag = tag_decompose
-           || tag = tag_query -> (
+           || tag = tag_query || tag = tag_topk -> (
       let body = String.sub key (i + 1) (String.length key - i - 1) in
       try Some (Dec.str (Dec.of_string body)) with Error _ -> None)
     | _ -> None)

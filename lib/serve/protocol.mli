@@ -40,6 +40,8 @@ type request =
       adds : (int * int) array;
       removes : (int * int) array;
     }  (** mutate a served graph in place: inserts, then deletes *)
+  | Topk of { graph : string; psi : string; k : int }
+      (** the k disjoint locally densest regions ({!Dsd_core.Topk_lds}) *)
   | Shutdown
 
 type response =
@@ -55,6 +57,9 @@ type response =
   | Query_r of { density : float; vertices : int array }
   | Apply_delta_r of { n : int; m : int; added : int; removed : int }
       (** post-delta size plus how many ops actually changed the graph *)
+  | Topk_r of { regions : (float * int array) list }
+      (** (density, vertices) in extraction order, densities
+          non-increasing *)
   | Shutdown_r
   | Error_r of string
 
@@ -85,7 +90,7 @@ val encode_response : response -> int * string
 val decode_response : int -> string -> response
 
 (** [request_key r] is a canonical cache key for the cacheable
-    requests ([Density]/[Cds]/[Decompose]/[Query]); [None] for the
+    requests ([Density]/[Cds]/[Decompose]/[Query]/[Topk]); [None] for the
     control requests and the [Apply_delta] mutation. *)
 val request_key : request -> string option
 

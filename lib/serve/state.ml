@@ -243,6 +243,23 @@ let compute t (req : Protocol.request) : Protocol.response =
           { density = sg.Dsd_core.Density.density;
             vertices = sg.Dsd_core.Density.vertices }
       end)
+  | Topk { graph; psi; k } -> (
+    match lookup t ~graph ~psi with
+    | Error e -> e
+    | Ok { ps; _ } ->
+      if k < 1 then errorf "topk needs k >= 1 (got %d)" k
+      else begin
+        let r =
+          Dsd_core.Topk_lds.run ?pool:t.pool ~decomp:(Lazy.force ps.decomp) ~k
+            ps.graph ps.psi
+        in
+        Topk_r
+          { regions =
+              List.map
+                (fun (sg : Dsd_core.Density.subgraph) ->
+                  (sg.density, sg.vertices))
+                r.Dsd_core.Topk_lds.regions }
+      end)
 
 (* Only successful answers enter the LRU: errors are cheap to recompute
    and must not shadow a graph registered later under the same name. *)
@@ -283,7 +300,7 @@ let handle t (req : Protocol.request) : Protocol.response =
             (fun (name, g) ->
               Printf.sprintf "%s n=%d m=%d" name (G.n g) (G.m g))
             (graphs t) }
-  | Density _ | Cds _ | Decompose _ | Query _ ->
+  | Density _ | Cds _ | Decompose _ | Query _ | Topk _ ->
     let key =
       match Protocol.request_key req with
       | Some k -> k

@@ -88,9 +88,56 @@ let test_triangle_ld_on_mixed () =
       (Helpers.int_array_as_set first.LD.vertices)
   | [] -> Alcotest.fail "no levels"
 
+let test_prefix_boundaries () =
+  let g = Dsd_data.Paper_graphs.two_cliques ~a:6 ~b:4 ~bridge:false in
+  let d = LD.decompose g P.edge in
+  let t = List.length d.LD.levels in
+  Alcotest.(check (array int)) "prefix 0 = B_0 = empty" [||] (LD.prefix d 0);
+  Alcotest.(check (array int)) "prefix t = V"
+    (Array.init 10 Fun.id) (LD.prefix d t);
+  List.iter
+    (fun i ->
+      Alcotest.check_raises
+        (Printf.sprintf "prefix %d raises" i)
+        (Invalid_argument
+           (Printf.sprintf
+              "Ld_decomposition.prefix: index %d not in [0, %d]" i t))
+        (fun () -> ignore (LD.prefix d i)))
+    [ -1; t + 1 ]
+
+(* The chain's defining property, STRICT version — exact rationals, so
+   no tolerance — exercised across every fuzz generator (seeded, so
+   any failure replays). *)
+let test_marginals_strict_across_generators () =
+  List.iter
+    (fun (gen : Dsd_check.Generator.t) ->
+      let rng = Helpers.rng 7001 in
+      for round = 1 to 5 do
+        let case = gen.Dsd_check.Generator.sample rng in
+        let d = LD.decompose case.Dsd_check.Generator.graph
+            case.Dsd_check.Generator.psi in
+        let rec ok = function
+          | a :: (b :: _ as rest) ->
+            if a.LD.marginal_density <= b.LD.marginal_density then
+              Alcotest.failf
+                "%s round %d (%s): marginals not strictly decreasing \
+                 (%.17g then %.17g) [%s]"
+                gen.Dsd_check.Generator.name round (Helpers.seed_ctx 7001)
+                a.LD.marginal_density b.LD.marginal_density
+                case.Dsd_check.Generator.label
+            else ok rest
+          | _ -> ()
+        in
+        ok d.LD.levels
+      done)
+    Dsd_check.Generator.all
+
 let suite =
   [
     Alcotest.test_case "two cliques levels" `Quick test_two_cliques_levels;
+    Alcotest.test_case "prefix boundaries" `Quick test_prefix_boundaries;
+    Alcotest.test_case "marginals strictly decrease (all generators)" `Quick
+      test_marginals_strict_across_generators;
     Alcotest.test_case "clique single level" `Quick test_uniform_graph_single_level;
     Alcotest.test_case "no instances" `Quick test_no_instances_single_zero_level;
     Alcotest.test_case "triangle LD on mixed graph" `Quick test_triangle_ld_on_mixed;

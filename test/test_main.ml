@@ -28,4 +28,5 @@ let () =
       ("directed", Test_directed.suite);
       ("serve", Test_serve.suite);
       ("incremental", Test_incremental.suite);
+      ("topk", Test_topk.suite);
     ]

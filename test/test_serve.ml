@@ -426,7 +426,23 @@ let test_differential_corpus () =
                       Alcotest.check subgraph label expected
                         { density; vertices }
                     | _ -> Alcotest.failf "%s: wrong response kind" label)
-              end)
+              end;
+              let expected =
+                List.map
+                  (fun (sg : Dsd_core.Density.subgraph) ->
+                    (sg.density, sg.vertices))
+                  (Dsd_core.Topk_lds.run ~k:2 g psi).Dsd_core.Topk_lds.regions
+              in
+              check_round
+                (Printf.sprintf "topk %s %s" name psi.P.name)
+                (Pr.Topk { graph = name; psi = psi.P.name; k = 2 })
+                (fun label resp ->
+                  match resp with
+                  | Pr.Topk_r { regions } ->
+                    if regions <> expected then
+                      Alcotest.failf "%s: served regions differ from api"
+                        label
+                  | _ -> Alcotest.failf "%s: wrong response kind" label))
             [ P.edge; P.triangle ])
         graphs;
       (* the warm half of every round must have come from the cache *)
@@ -565,6 +581,8 @@ let test_request_codec_roundtrip () =
       Pr.Decompose { graph = "a b"; psi = "diamond" };
       Pr.Query { graph = "g"; psi = "edge"; vertices = [| 0; 5; 1_000_000 |] };
       Pr.Query { graph = "g"; psi = "edge"; vertices = [||] };
+      Pr.Topk { graph = "g"; psi = "triangle"; k = 3 };
+      Pr.Topk { graph = ""; psi = "edge"; k = -1 };
     ]
   in
   List.iter
@@ -582,6 +600,9 @@ let test_request_codec_roundtrip () =
       Pr.Cds_r { density = 1.5; vertices = [| 1; 2; 3 |] };
       Pr.Decompose_r { kmax = 3; core = [| 0; 1; 2; 3 |] };
       Pr.Query_r { density = 7.25; vertices = [||] };
+      Pr.Topk_r { regions = [] };
+      Pr.Topk_r
+        { regions = [ (2.5, [| 0; 1; 2 |]); (0.1, [||]) ] };
       Pr.Error_r "nope";
       Pr.Stats_r
         { counters = [ ("a", 1); ("b", 0) ];

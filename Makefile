@@ -1,9 +1,10 @@
 # Convenience targets; CI should run `make check`.
 
 .PHONY: all build test test-flow test-warmstart test-metamorphic test-serve \
-	test-incremental test-topk fuzz-smoke fuzz-incremental fuzz-topk \
-	coverage fmt check bench-phases bench-retarget bench-warmstart \
-	bench-serve bench-incremental bench-topk clean
+	test-incremental test-topk test-parallel-heavy fuzz-smoke \
+	fuzz-incremental fuzz-topk coverage fmt check bench-phases \
+	bench-retarget bench-warmstart bench-serve bench-incremental \
+	bench-topk bench-parallel clean
 
 all: build
 
@@ -49,6 +50,16 @@ test-incremental:
 # canonical-region fixtures and the disjointness/monotonicity laws.
 test-topk:
 	dune exec test/test_main.exe -- test topk
+
+# The whole battery re-run with a 4-domain default pool: DSD_DOMAINS
+# governs every solver's default width, so the round-synchronous peel,
+# the striped component probes and the CLI goldens all execute against
+# a real multi-domain pool even on paths that don't pass ?pool
+# explicitly.  Everything must stay bit-identical — the goldens diff
+# the same expected files.  --force because the environment variable
+# is invisible to dune's dependency tracking.
+test-parallel-heavy:
+	DSD_DOMAINS=4 dune build @runtest --force
 
 # A real fuzzing burst: fresh random cases against every relation,
 # bounded by wall clock so `make check` stays fast.  Uses an
@@ -111,6 +122,7 @@ check:
 	$(MAKE) fuzz-incremental
 	$(MAKE) fuzz-topk
 	dune exec bench/main.exe -- --only parallel,retarget,warmstart,serve,incremental,topk --smoke
+	dune exec bench/compare.exe -- BENCH_parallel.json
 	dune exec bench/compare.exe -- BENCH_warmstart.json
 	dune exec bench/compare.exe -- BENCH_serve.json
 	dune exec bench/compare.exe -- BENCH_incremental.json
@@ -147,6 +159,13 @@ bench-incremental:
 bench-topk:
 	dune exec bench/main.exe -- --only topk
 	dune exec bench/compare.exe -- BENCH_topk.json
+
+# Domain-pool speedup sweep over the pooled phases (writes
+# BENCH_parallel.json), then the >= 2x at 4 domains gate — skipped
+# automatically on boxes whose cores_detected < 4.
+bench-parallel:
+	dune exec bench/main.exe -- --only parallel
+	dune exec bench/compare.exe -- BENCH_parallel.json
 
 clean:
 	dune clean

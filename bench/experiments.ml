@@ -874,9 +874,14 @@ let phases () =
 
 (* ---- parallel: domain-pool speedup vs domains (BENCH_parallel.json) ---- *)
 
-(* Speedup of the pooled parallel phases — clique-core decomposition,
-   clique counting, flow-network construction — as the pool grows, on
-   generated graphs.  Results are bit-identical across pool sizes (the
+(* Speedup of the pooled parallel phases — clique-core decomposition
+   (both the frontier mode and the density-tracked peel that PeelApp
+   and Pruning1 ride), clique counting, the striped per-component
+   CoreExact probes, and flow-network construction — as the pool
+   grows, on generated graphs.  Every row carries [cores_detected]
+   (the hardware recommendation at measurement time) so the compare
+   gate can tell "no speedup because the code regressed" from "no
+   speedup because the box cannot physically provide one".  Results are bit-identical across pool sizes (the
    differential test suite pins that); this measures only time.  The
    measured rows also land in BENCH_parallel.json for tracking, along
    with the pool's sequential-fallback threshold: jobs smaller than
@@ -908,8 +913,15 @@ let parallel () =
          ignore
            (Dsd_core.Clique_core.decompose ~pool ~track_density:false g
               P.triangle));
+      ("decompose_tracked_triangle",
+       fun pool ->
+         ignore
+           (Dsd_core.Clique_core.decompose ~pool ~track_density:true g
+              P.triangle));
       ("count_4clique",
        fun pool -> ignore (Dsd_clique.Parallel.count_in pool g ~h:4));
+      ("core_exact_striped_triangle",
+       fun pool -> ignore (Dsd_core.Core_exact.run ~pool g P.triangle));
       ("build_network_triangle",
        fun pool ->
          let instances = Dsd_core.Enumerate.instances ~pool g P.triangle in
@@ -986,9 +998,11 @@ let parallel () =
                   json_rows :=
                     Printf.sprintf
                       "    {\"graph\": \"%s\", \"n\": %d, \"m\": %d, \
-                       \"phase\": \"%s\", \"domains\": %d, \"time_s\": %s, \
+                       \"phase\": \"%s\", \"domains\": %d, \
+                       \"cores_detected\": %d, \"time_s\": %s, \
                        \"speedup\": %s}"
                       gname (G.n g) (G.m g) phase domains
+                      (Domain.recommended_domain_count ())
                       (match time_s with
                        | Some t -> Printf.sprintf "%.6f" t
                        | None -> "null")

@@ -73,14 +73,17 @@ let pattern_arg =
 let domains_arg =
   C.Arg.(value & opt (some int) None
          & info [ "domains" ] ~docv:"N"
-             ~doc:"Domains for the parallel phases (enumeration, core \
-                   decomposition, flow-network construction).  Defaults to \
-                   $(b,DSD_DOMAINS) or the hardware recommendation.  \
-                   Results are identical for every value.")
+             ~doc:"Domains for the parallel phases (enumeration, round-\
+                   synchronous peeling, flow-network construction, striped \
+                   component probes).  Defaults to $(b,DSD_DOMAINS) when \
+                   set, otherwise min(hardware recommendation, 4).  Results \
+                   are identical for every value; $(b,--domains 1) is the \
+                   escape hatch that keeps everything on the calling \
+                   domain.")
 
-(* Run [f] with a shared domain pool sized by --domains (or the
-   recommendation).  All solvers are bit-identical across pool sizes,
-   so this only changes how fast the answer arrives. *)
+(* Run [f] with a shared domain pool sized by --domains (or the capped
+   default).  All solvers are bit-identical across pool sizes, so this
+   only changes how fast the answer arrives. *)
 let with_domains domains f =
   let domains =
     match domains with
@@ -88,7 +91,7 @@ let with_domains domains f =
     | Some _ ->
       prerr_endline "dsd: --domains must be >= 1";
       exit 2
-    | None -> Dsd_clique.Parallel.recommended_domains ()
+    | None -> Dsd_clique.Parallel.default_domains ()
   in
   Dsd_util.Pool.with_pool domains (fun pool -> f pool)
 

@@ -670,6 +670,68 @@ let top1_equals_cds =
               exact.density
         | regions -> failf "k=1 returned %d regions" (List.length regions)) }
 
+(* ---- round-synchronous parallel peel ≡ sequential peel ---- *)
+
+(* The bucket-free peel engine must reproduce the whole transcript —
+   not just the answer — at every pool width: core numbers, peel
+   order, kmax, the residual-density trace with its best suffix, and
+   PeelApp's subgraph (the consumer of the tracked order).
+   [sequential_below:0] forces even these small cases off the inline
+   path and through the worker fan-out. *)
+let parallel_peel_equivalence =
+  let module CC = Dsd_core.Clique_core in
+  { name = "parallel-peel-equivalence";
+    check =
+      (fun subject ~rng:_ (c : Generator.case) ->
+        let seq = CC.decompose ~track_density:true c.graph c.psi in
+        let peel_seq = subject.Subject.peel c.graph c.psi in
+        let check_width width =
+          Dsd_util.Pool.with_pool ~sequential_below:0 width (fun pool ->
+              let par =
+                CC.decompose ~pool ~track_density:true c.graph c.psi
+              in
+              if par.CC.core <> seq.CC.core then
+                Some (Printf.sprintf "width %d: core numbers differ" width)
+              else if par.CC.order <> seq.CC.order then
+                Some (Printf.sprintf "width %d: peel order differs" width)
+              else if par.CC.kmax <> seq.CC.kmax then
+                Some
+                  (Printf.sprintf "width %d: kmax %d <> %d" width par.CC.kmax
+                     seq.CC.kmax)
+              else if par.CC.residual_densities <> seq.CC.residual_densities
+              then
+                Some
+                  (Printf.sprintf "width %d: residual-density trace differs"
+                     width)
+              else if
+                Int64.bits_of_float par.CC.best_residual_density
+                <> Int64.bits_of_float seq.CC.best_residual_density
+                || par.CC.best_residual_start <> seq.CC.best_residual_start
+              then
+                Some
+                  (Printf.sprintf "width %d: best residual suffix drifts \
+                                   (%.17g@%d vs %.17g@%d)"
+                     width par.CC.best_residual_density
+                     par.CC.best_residual_start seq.CC.best_residual_density
+                     seq.CC.best_residual_start)
+              else begin
+                let p = subject.Subject.peel ~pool c.graph c.psi in
+                if
+                  Int64.bits_of_float p.density
+                  <> Int64.bits_of_float peel_seq.density
+                  || p.vertices <> peel_seq.vertices
+                then
+                  Some
+                    (Printf.sprintf
+                       "width %d: PeelApp result differs (%.17g vs %.17g)"
+                       width p.density peel_seq.density)
+                else None
+              end)
+        in
+        match List.filter_map check_width [ 2; 4 ] with
+        | [] -> Pass
+        | msgs -> Fail (String.concat "; " msgs)) }
+
 let all =
   [ theorem1_bounds;
     approx_ratio;
@@ -686,6 +748,7 @@ let all =
     topk_disjointness;
     topk_prefix_stability;
     top1_equals_cds;
+    parallel_peel_equivalence;
   ]
 
 let find name = List.find_opt (fun r -> r.name = name) all

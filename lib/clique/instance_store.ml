@@ -1,67 +1,100 @@
+(* Flat-arena layout: instance members and per-vertex postings both
+   live in single contiguous int arrays addressed through CSR-style
+   offset tables.  The peel's hot scans (ownership resolution, degree
+   refresh, posting walks) then stream disjoint cache-friendly ranges
+   instead of chasing one heap block per vertex/instance — which is
+   what lets chunked pool workers scale instead of thrashing. *)
+
 type t = {
   n : int;
-  insts : int array array;
-  posting : int array array;   (* vertex -> ids of instances containing it *)
+  total : int;
+  arity : int;                 (* uniform member count; 0 only when total = 0 *)
+  inst_mem : int array;        (* members of instance i at [i*arity, (i+1)*arity) *)
+  post_off : int array;        (* n + 1 offsets into [post] *)
+  post : int array;            (* vertex -> ids of instances containing it *)
   live : Bytes.t;              (* instance -> 1 if live *)
   deg : int array;             (* vertex -> live instance count *)
   mutable live_count : int;
 }
 
 let create ~n insts =
-  let counts = Array.make n 0 in
+  let total = Array.length insts in
+  let arity = if total = 0 then 0 else Array.length insts.(0) in
+  let counts = Array.make (n + 1) 0 in
   Array.iter
     (fun inst ->
+      if Array.length inst <> arity then
+        invalid_arg "Instance_store.create: ragged instance arity";
       Array.iter
         (fun v ->
-          if v < 0 || v >= n then invalid_arg "Instance_store.create: vertex out of range";
+          if v < 0 || v >= n then
+            invalid_arg "Instance_store.create: vertex out of range";
           counts.(v) <- counts.(v) + 1)
         inst)
     insts;
-  let posting = Array.map (fun c -> Array.make c 0) counts in
-  let fill = Array.make n 0 in
+  let post_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    post_off.(v + 1) <- post_off.(v) + counts.(v)
+  done;
+  let post = Array.make post_off.(n) 0 in
+  let inst_mem = Array.make (total * arity) 0 in
+  let fill = Array.sub post_off 0 (max 1 (n + 1)) in
   Array.iteri
     (fun i inst ->
-      Array.iter
-        (fun v ->
-          posting.(v).(fill.(v)) <- i;
+      Array.iteri
+        (fun j v ->
+          inst_mem.((i * arity) + j) <- v;
+          post.(fill.(v)) <- i;
           fill.(v) <- fill.(v) + 1)
         inst)
     insts;
   {
     n;
-    insts;
-    posting;
-    live = Bytes.make (Array.length insts) '\001';
-    deg = counts;
-    live_count = Array.length insts;
+    total;
+    arity;
+    inst_mem;
+    post_off;
+    post;
+    live = Bytes.make total '\001';
+    deg = Array.sub counts 0 (max 1 n);
+    live_count = total;
   }
 
-let total t = Array.length t.insts
+let total t = t.total
 let live_total t = t.live_count
-let members t i = t.insts.(i)
+let arity t = t.arity
+let member t i j = t.inst_mem.((i * t.arity) + j)
+let members t i = Array.sub t.inst_mem (i * t.arity) t.arity
 let is_live t i = Bytes.get t.live i = '\001'
 let degree t v = t.deg.(v)
+
+let iter_members t i ~f =
+  let base = i * t.arity in
+  for j = 0 to t.arity - 1 do
+    f t.inst_mem.(base + j)
+  done
 
 let kill_instance_internal t i ~skip ~on_comember =
   Bytes.set t.live i '\000';
   t.live_count <- t.live_count - 1;
-  Array.iter
-    (fun u ->
-      if u <> skip then begin
-        t.deg.(u) <- t.deg.(u) - 1;
-        on_comember u
-      end)
-    t.insts.(i)
+  let base = i * t.arity in
+  for j = 0 to t.arity - 1 do
+    let u = t.inst_mem.(base + j) in
+    if u <> skip then begin
+      t.deg.(u) <- t.deg.(u) - 1;
+      on_comember u
+    end
+  done
 
 let kill_vertex t v ~on_comember =
   let killed = ref 0 in
-  Array.iter
-    (fun i ->
-      if is_live t i then begin
-        incr killed;
-        kill_instance_internal t i ~skip:v ~on_comember
-      end)
-    t.posting.(v);
+  for p = t.post_off.(v) to t.post_off.(v + 1) - 1 do
+    let i = t.post.(p) in
+    if is_live t i then begin
+      incr killed;
+      kill_instance_internal t i ~skip:v ~on_comember
+    end
+  done;
   t.deg.(v) <- 0;
   !killed
 
@@ -73,25 +106,31 @@ let kill_instance_with t i ~on_comember =
   if is_live t i then kill_instance_internal t i ~skip:(-1) ~on_comember
 
 let iter_live_of_vertex t v ~f =
-  Array.iter (fun i -> if is_live t i then f i) t.posting.(v)
+  for p = t.post_off.(v) to t.post_off.(v + 1) - 1 do
+    let i = t.post.(p) in
+    if is_live t i then f i
+  done
 
 let reset t =
   Bytes.fill t.live 0 (Bytes.length t.live) '\001';
-  t.live_count <- total t;
+  t.live_count <- t.total;
   Array.fill t.deg 0 t.n 0;
-  Array.iter (fun inst -> Array.iter (fun v -> t.deg.(v) <- t.deg.(v) + 1) inst) t.insts
+  Array.iter (fun v -> t.deg.(v) <- t.deg.(v) + 1) t.inst_mem
 
 (* Growable variant for the incremental subsystem: instances are
    appended as edge inserts discover them and retired (tombstoned) as
-   deletes destroy them.  Postings are append-only vectors that may
-   contain dead ids — consumers filter through [is_live] — and dead
-   slots are never reused, so instance ids are stable for the lifetime
-   of the store (the flow arena keys its per-instance arcs by them). *)
+   deletes destroy them.  Members share one flat growable arena (the
+   static layout above, minus the fixed capacity); postings are
+   append-only vectors that may contain dead ids — consumers filter
+   through [is_live] — and dead slots are never reused, so instance
+   ids are stable for the lifetime of the store (the flow arena keys
+   its per-instance arcs by them). *)
 module Dyn = struct
   type store = {
     n : int;
-    mutable insts : int array array;     (* id -> members; [||] = unset *)
     mutable count : int;
+    off : Dsd_util.Vec.Int.t;            (* count + 1 offsets into [mem] *)
+    mem : Dsd_util.Vec.Int.t;            (* flat member arena *)
     posting : Dsd_util.Vec.Int.t array;  (* vertex -> ids (may be dead) *)
     mutable live : Bytes.t;
     deg : int array;                     (* vertex -> live instance count *)
@@ -100,28 +139,35 @@ module Dyn = struct
 
   let total t = t.count
   let live_total t = t.live_count
-  let members t i = t.insts.(i)
   let is_live t i = i >= 0 && i < t.count && Bytes.get t.live i = '\001'
   let degree t v = t.deg.(v)
 
-  let append t members =
+  let members t i =
+    let lo = Dsd_util.Vec.Int.get t.off i in
+    let hi = Dsd_util.Vec.Int.get t.off (i + 1) in
+    Array.init (hi - lo) (fun j -> Dsd_util.Vec.Int.get t.mem (lo + j))
+
+  let iter_members t i ~f =
+    let lo = Dsd_util.Vec.Int.get t.off i in
+    let hi = Dsd_util.Vec.Int.get t.off (i + 1) in
+    for p = lo to hi - 1 do
+      f (Dsd_util.Vec.Int.get t.mem p)
+    done
+
+  let append t ms =
     Array.iter
       (fun v ->
         if v < 0 || v >= t.n then
           invalid_arg "Instance_store.Dyn.append: vertex out of range")
-      members;
+      ms;
     let id = t.count in
-    if id >= Array.length t.insts then begin
-      let grown = Array.make (max 16 (2 * Array.length t.insts)) [||] in
-      Array.blit t.insts 0 grown 0 (Array.length t.insts);
-      t.insts <- grown
-    end;
     if id >= Bytes.length t.live then begin
       let grown = Bytes.make (max 16 (2 * Bytes.length t.live)) '\000' in
       Bytes.blit t.live 0 grown 0 (Bytes.length t.live);
       t.live <- grown
     end;
-    t.insts.(id) <- members;
+    Array.iter (fun v -> Dsd_util.Vec.Int.push t.mem v) ms;
+    Dsd_util.Vec.Int.push t.off (Dsd_util.Vec.Int.length t.mem);
     Bytes.set t.live id '\001';
     t.count <- t.count + 1;
     t.live_count <- t.live_count + 1;
@@ -129,7 +175,7 @@ module Dyn = struct
       (fun v ->
         Dsd_util.Vec.Int.push t.posting.(v) id;
         t.deg.(v) <- t.deg.(v) + 1)
-      members;
+      ms;
     id
 
   let retire t i =
@@ -137,16 +183,24 @@ module Dyn = struct
     else begin
       Bytes.set t.live i '\000';
       t.live_count <- t.live_count - 1;
-      Array.iter (fun v -> t.deg.(v) <- t.deg.(v) - 1) t.insts.(i);
+      iter_members t i ~f:(fun v -> t.deg.(v) <- t.deg.(v) - 1);
       true
     end
 
   let iter_live_of_vertex t v ~f =
     Dsd_util.Vec.Int.iter (fun i -> if is_live t i then f i) t.posting.(v)
 
+  let mem_vertex t i w =
+    let lo = Dsd_util.Vec.Int.get t.off i in
+    let hi = Dsd_util.Vec.Int.get t.off (i + 1) in
+    let rec go p =
+      p < hi && (Dsd_util.Vec.Int.get t.mem p = w || go (p + 1))
+    in
+    go lo
+
   (* Retire every live instance containing both endpoints of a deleted
      edge.  Scans the shorter posting list; membership of the other
-     endpoint is a linear probe of the (small, h-sized) member array. *)
+     endpoint is a linear probe of the (small, h-sized) member run. *)
   let retire_edge t u v ~f =
     if u < 0 || u >= t.n || v < 0 || v >= t.n then
       invalid_arg "Instance_store.Dyn.retire_edge: vertex out of range";
@@ -160,7 +214,7 @@ module Dyn = struct
     let retired = ref 0 in
     let hits = ref [] in
     iter_live_of_vertex t scan ~f:(fun i ->
-        if Array.exists (fun w -> w = other) t.insts.(i) then hits := i :: !hits);
+        if mem_vertex t i other then hits := i :: !hits);
     List.iter
       (fun i ->
         if retire t i then begin
@@ -175,17 +229,22 @@ module Dyn = struct
   let live_members t =
     let acc = ref [] in
     for i = t.count - 1 downto 0 do
-      if is_live t i then acc := t.insts.(i) :: !acc
+      if is_live t i then acc := members t i :: !acc
     done;
     Array.of_list !acc
 
   let create ~n insts =
+    let off = Dsd_util.Vec.Int.create ~capacity:16 () in
+    Dsd_util.Vec.Int.push off 0;
     let t =
       {
         n;
-        insts = Array.make (max 16 (2 * Array.length insts)) [||];
         count = 0;
-        posting = Array.init (max 1 n) (fun _ -> Dsd_util.Vec.Int.create ~capacity:4 ());
+        off;
+        mem = Dsd_util.Vec.Int.create ~capacity:64 ();
+        posting =
+          Array.init (max 1 n) (fun _ ->
+              Dsd_util.Vec.Int.create ~capacity:4 ());
         live = Bytes.make (max 16 (2 * Array.length insts)) '\000';
         deg = Array.make (max 1 n) 0;
         live_count = 0;

@@ -7,12 +7,19 @@
     once makes each deletion cost proportional to the retired
     instances — the same O(n * C(d-1, h-1)) total bound as the paper's
     re-enumeration formulation, without repeated neighbourhood
-    enumeration. *)
+    enumeration.
+
+    Members and postings are stored in flat contiguous arenas behind
+    CSR-style offset tables, so the peel's chunked scans stream
+    disjoint cache lines instead of chasing one heap block per
+    vertex — read members through {!member}/{!iter_members} on hot
+    paths ({!members} copies a slice). *)
 
 type t
 
 (** [create ~n instances] indexes instances over vertices [0..n-1].
-    Member arrays must be duplicate-free; they are not copied. *)
+    Member arrays must be duplicate-free and all of the same length
+    (the pattern size); they are copied into the flat arena. *)
 val create : n:int -> int array array -> t
 
 (** Total number of instances (live and dead). *)
@@ -21,7 +28,19 @@ val total : t -> int
 (** Number of currently live instances. *)
 val live_total : t -> int
 
+(** Members per instance (0 only in an empty store). *)
+val arity : t -> int
+
+(** [member t i j] is the [j]-th member of instance [i] (sorted
+    ascending, as enumerated) — no allocation. *)
+val member : t -> int -> int -> int
+
+(** [iter_members t i ~f] visits instance [i]'s members in order. *)
+val iter_members : t -> int -> f:(int -> unit) -> unit
+
+(** [members t i] is a fresh copy of instance [i]'s member slice. *)
 val members : t -> int -> int array
+
 val is_live : t -> int -> bool
 
 (** [degree t v] is the number of live instances containing [v] (the
@@ -69,7 +88,14 @@ module Dyn : sig
   val total : store -> int
 
   val live_total : store -> int
+
+  (** Fresh copy of instance [i]'s member slice of the flat arena. *)
   val members : store -> int -> int array
+
+  (** [iter_members t i ~f] visits instance [i]'s members without
+      copying them out of the arena. *)
+  val iter_members : store -> int -> f:(int -> unit) -> unit
+
   val is_live : store -> int -> bool
 
   (** Number of live instances containing [v]. *)

@@ -10,6 +10,19 @@ let recommended_domains () =
      | Some _ | None -> hardware)
   | None -> hardware
 
+(* Past ~4 domains the CLI's graphs rarely have enough independent
+   work per phase to amortise the extra workers, and oversubscribing
+   small boxes actively hurts — so the CLI default caps the hardware
+   count at 4 unless the user (or DSD_DOMAINS) says otherwise. *)
+let default_domains () =
+  let hardware = max 1 (Domain.recommended_domain_count ()) in
+  match Sys.getenv_opt "DSD_DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some d when d >= 1 -> d
+     | Some _ | None -> min hardware 4)
+  | None -> min hardware 4
+
 (* Each domain's participation in an enumeration job runs under one
    clique_stripe span, so the obs table reads as aggregate stripe CPU
    time with one entry per domain — the same shape the old

@@ -37,3 +37,9 @@ val degrees : Dsd_graph.Graph.t -> h:int -> domains:int -> int array
     when set to a positive integer, otherwise
     [Domain.recommended_domain_count ()] (uncapped). *)
 val recommended_domains : unit -> int
+
+(** Like {!recommended_domains}, but the hardware fallback is capped at
+    4 — the CLI's out-of-the-box default ([dsd] without [--domains] and
+    with [DSD_DOMAINS] unset).  [--domains 1] remains the escape hatch
+    that forces every phase onto the calling domain. *)
+val default_domains : unit -> int

@@ -56,7 +56,9 @@ let peel ~n ~mu_total ~track_density ~pop ~retire =
     (if track_density then !best_start else 0),
     residuals )
 
-(* Frontier-synchronous parallel peel over an instance store.
+(* Round-synchronous (bucket-free) peel over an instance store — the
+   canonical engine for clique/generic patterns, sequential and
+   parallel alike.
 
    Threshold peeling's core numbers are order-independent: core(v) is
    the largest k such that v survives deleting everything of
@@ -64,50 +66,88 @@ let peel ~n ~mu_total ~track_density ~pop ~retire =
    popping one minimum at a time, each level k removes the entire
    cascade of vertices whose live degree falls to <= k, in batched
    sub-rounds; every removed vertex gets core number k, which is
-   exactly what the sequential bucket peel's running maximum assigns.
+   exactly what a sequential bucket peel's running maximum assigns.
 
-   Parallel structure per sub-round: the read-only scan that maps each
-   frontier vertex to the live instances it retires fans out across
-   the pool; mutations (liveness bits, degree decrements, the next
-   sub-frontier) are applied sequentially from the chunk-ordered scan
-   results.  An instance containing several frontier vertices is
-   retired exactly once, by its first in-frontier member (member
-   arrays are sorted, so ownership is well-defined and needs no
-   synchronisation to agree across domains).
+   The canonical peel order: each sub-round's frontier is linearised
+   in ascending vertex id.  Under that linearisation the number of
+   instances vertex v retires at its own removal step — and hence its
+   live degree at removal time — equals the number of live instances
+   whose minimum in-frontier member is v (every instance with a
+   smaller in-frontier member died at that earlier member's step).
+   Those "owned counts" come out of a read-only scan, so the
+   per-step residual densities of Pruning1 (and Greedy++'s load
+   updates, via [on_peel]) are computed exactly, without any
+   sequential re-walk.  Peeling whole levels keeps the Theorem 3/4
+   guarantees: at the first position of level k the residual graph has
+   minimum degree k, so the best level-boundary suffix already attains
+   the rho*/|Psi| bound PeelApp needs.
 
-   The peel [order] is a valid peel order but not the sequential
-   bucket order (within a level the bucket queue interleaves the
-   cascade LIFO); callers that consume [order] — residual-density
-   tracking — use the sequential engine instead, which is why
-   [decompose] only routes here when [track_density] is off. *)
-let peel_frontier ~pool ~n store =
+   Parallel structure per sub-round: the scan that maps each frontier
+   vertex to the live instances it owns fans out across the pool;
+   mutations (liveness bits, degree decrements, the next sub-frontier)
+   are applied sequentially from the chunk-ordered scan results.
+   Ownership (minimum in-frontier member — member slices are sorted)
+   is a pure function of sub-round-start state, so it needs no
+   synchronisation to agree across domains.  Chunk sizes are fixed
+   constants, hence boundaries — and with them every merged result —
+   are independent of the pool size: the transcript is bit-identical
+   from one domain to as many as the hardware has. *)
+let peel_store ?pool ?(on_peel = fun _ _ -> ()) ~track_density ~n store =
   let module IS = Dsd_clique.Instance_store in
+  (* Fixed chunk sizes: scan results merge in chunk order, and with
+     boundaries independent of the pool size the peel order is the
+     same for every domain count. *)
+  let scan_chunk = 4096 and frontier_chunk = 256 in
+  let map_chunks ~chunk ~n f =
+    match pool with
+    | Some pool -> Dsd_util.Pool.map_chunks pool ~chunk ~n f
+    | None ->
+      if n = 0 then [||]
+      else
+        Array.init
+          ((n + chunk - 1) / chunk)
+          (fun c ->
+            let lo = c * chunk in
+            f lo (min n (lo + chunk)))
+  in
   let core = Array.make n 0 in
   let order = Array.make n 0 in
+  let mu_total = IS.total store in
+  let mu_live = ref mu_total in
+  let initial_density =
+    if n = 0 then 0. else float_of_int mu_total /. float_of_int n
+  in
+  let residuals =
+    if track_density then Array.make (max 1 n) initial_density else [||]
+  in
+  let best_density = ref initial_density in
+  let best_start = ref 0 in
   let pos = ref 0 in
   let alive = Array.make n true in
   let in_frontier = Array.make n false in
   let queued = Array.make n false in
   let k = ref 0 in
   let kmax = ref 0 in
-  (* Fixed chunk sizes: scan results merge in chunk order, and with
-     boundaries independent of the pool size the peel order is the
-     same for every domain count. *)
-  let scan_chunk = 4096 and frontier_chunk = 256 in
+  (* Survivors, compacted per level so the level scans cost O(live)
+     rather than O(n); filtering preserves ascending order. *)
+  let active = ref (Array.init n (fun v -> v)) in
   while !pos < n do
+    let act = !active in
+    let an = Array.length act in
     (* Next level: the minimum live degree (strictly above the level
        just drained, so k advances past empty levels in one step). *)
     let level =
-      Dsd_util.Pool.fold_chunks pool ~chunk:scan_chunk ~n ~init:max_int
-        ~merge:min (fun lo hi ->
-          let m = ref max_int in
-          for v = lo to hi - 1 do
-            if alive.(v) then begin
-              let d = IS.degree store v in
-              if d < !m then m := d
-            end
-          done;
-          !m)
+      Array.fold_left min max_int
+        (map_chunks ~chunk:scan_chunk ~n:an (fun lo hi ->
+             let m = ref max_int in
+             for idx = lo to hi - 1 do
+               let v = act.(idx) in
+               if alive.(v) then begin
+                 let d = IS.degree store v in
+                 if d < !m then m := d
+               end
+             done;
+             !m))
     in
     assert (level < max_int);
     k := level;
@@ -116,9 +156,10 @@ let peel_frontier ~pool ~n store =
       ref
         (Array.concat
            (Array.to_list
-              (Dsd_util.Pool.map_chunks pool ~chunk:scan_chunk ~n (fun lo hi ->
+              (map_chunks ~chunk:scan_chunk ~n:an (fun lo hi ->
                    let out = Dsd_util.Vec.Int.create () in
-                   for v = lo to hi - 1 do
+                   for idx = lo to hi - 1 do
+                     let v = act.(idx) in
                      if alive.(v) && IS.degree store v <= !k then
                        Dsd_util.Vec.Int.push out v
                    done;
@@ -129,34 +170,57 @@ let peel_frontier ~pool ~n store =
       let fn = Array.length fr in
       Array.iter (fun v -> in_frontier.(v) <- true) fr;
       (* Read-only ownership scan: liveness and degrees are not
-         mutated until the kill lists are complete. *)
-      let kill_lists =
-        Dsd_util.Pool.map_chunks pool ~chunk:frontier_chunk ~n:fn
-          (fun lo hi ->
+         mutated until the kill lists and owned counts are complete. *)
+      let scans =
+        map_chunks ~chunk:frontier_chunk ~n:fn (fun lo hi ->
             let kills = Dsd_util.Vec.Int.create () in
+            let owned = Array.make (hi - lo) 0 in
             for idx = lo to hi - 1 do
               let v = fr.(idx) in
               IS.iter_live_of_vertex store v ~f:(fun i ->
-                  let members = IS.members store i in
                   let rec owner j =
-                    if in_frontier.(members.(j)) then members.(j)
-                    else owner (j + 1)
+                    let u = IS.member store i j in
+                    if in_frontier.(u) then u else owner (j + 1)
                   in
-                  if owner 0 = v then Dsd_util.Vec.Int.push kills i)
+                  if owner 0 = v then begin
+                    owned.(idx - lo) <- owned.(idx - lo) + 1;
+                    Dsd_util.Vec.Int.push kills i
+                  end)
             done;
-            kills)
+            (kills, owned))
       in
-      Array.iter
-        (fun v ->
-          alive.(v) <- false;
-          core.(v) <- !k;
-          order.(!pos) <- v;
-          incr pos;
-          Dsd_obs.Counter.incr Dsd_obs.Counter.Peeled_vertices)
-        fr;
+      (* Linearised removal in ascending id order (fr is sorted):
+         vertex bookkeeping, density tracking and the on_peel hook see
+         exactly the sequential one-at-a-time transcript. *)
+      Array.iteri
+        (fun c (_, owned) ->
+          let lo = c * frontier_chunk in
+          Array.iteri
+            (fun d cnt ->
+              let v = fr.(lo + d) in
+              let i = !pos in
+              alive.(v) <- false;
+              core.(v) <- !k;
+              order.(i) <- v;
+              pos := i + 1;
+              Dsd_obs.Counter.incr Dsd_obs.Counter.Peeled_vertices;
+              on_peel v cnt;
+              mu_live := !mu_live - cnt;
+              if track_density && i < n - 1 then begin
+                let d = float_of_int !mu_live /. float_of_int (n - i - 1) in
+                residuals.(i + 1) <- d;
+                if d > !best_density then begin
+                  best_density := d;
+                  best_start := i + 1
+                end
+              end)
+            owned)
+        scans;
+      (* Store mutation: retire owned instances, decrement co-member
+         degrees, and queue the cascade that fell to <= k. *)
       let next = Dsd_util.Vec.Int.create () in
       Array.iter
-        (fun kills ->
+        (fun (kills, _) ->
           Dsd_util.Vec.Int.iter
             (fun i ->
               IS.kill_instance_with store i ~on_comember:(fun u ->
@@ -167,61 +231,38 @@ let peel_frontier ~pool ~n store =
                     Dsd_util.Vec.Int.push next u
                   end))
             kills)
-        kill_lists;
+        scans;
       Array.iter (fun v -> in_frontier.(v) <- false) fr;
       let nf = Dsd_util.Vec.Int.to_array next in
+      (* Cascade discovery order depends on posting layout; sorting
+         restores the canonical ascending linearisation. *)
+      Array.sort compare nf;
       Array.iter (fun v -> queued.(v) <- false) nf;
       frontier := nf
-    done
+    done;
+    if !pos < n then begin
+      let out = Dsd_util.Vec.Int.create ~capacity:(Array.length act) () in
+      Array.iter
+        (fun v -> if alive.(v) then Dsd_util.Vec.Int.push out v)
+        act;
+      active := Dsd_util.Vec.Int.to_array out
+    end
   done;
-  assert (IS.live_total store = 0);
-  (core, order, !kmax)
+  assert (!mu_live = 0);
+  ( core,
+    order,
+    !kmax,
+    (if track_density then !best_density else 0.),
+    (if track_density then !best_start else 0),
+    residuals )
 
 let decompose_generic ?pool ~track_density g psi =
   let n = G.n g in
   let insts = Enumerate.instances ?pool g psi in
   let store = Dsd_clique.Instance_store.create ~n insts in
-  match pool with
-  | Some pool when (not track_density) && n > 0 ->
-    let mu_total = Dsd_clique.Instance_store.total store in
-    let core, order, kmax = peel_frontier ~pool ~n store in
-    (core, order, kmax, 0., 0, [||], mu_total)
-  | _ ->
-  let max_deg = ref 1 in
-  for v = 0 to n - 1 do
-    if Dsd_clique.Instance_store.degree store v > !max_deg then
-      max_deg := Dsd_clique.Instance_store.degree store v
-  done;
-  let queue = Dsd_util.Bucket_queue.create ~n ~max_key:!max_deg in
-  for v = 0 to n - 1 do
-    Dsd_util.Bucket_queue.add queue ~item:v
-      ~key:(Dsd_clique.Instance_store.degree store v)
-  done;
-  (* Deduplicate co-member notifications per deletion with a stamp. *)
-  let stamp = Array.make n (-1) in
-  let touched = Dsd_util.Vec.Int.create () in
-  let retire v =
-    Dsd_util.Vec.Int.clear touched;
-    let killed =
-      Dsd_clique.Instance_store.kill_vertex store v ~on_comember:(fun u ->
-          if stamp.(u) <> v then begin
-            stamp.(u) <- v;
-            Dsd_util.Vec.Int.push touched u
-          end)
-    in
-    Dsd_util.Vec.Int.iter
-      (fun u ->
-        if Dsd_util.Bucket_queue.mem queue u then
-          Dsd_util.Bucket_queue.update queue ~item:u
-            ~key:(Dsd_clique.Instance_store.degree store u))
-      touched;
-    killed
-  in
   let mu_total = Dsd_clique.Instance_store.total store in
   let core, order, kmax, bd, bs, residuals =
-    peel ~n ~mu_total ~track_density
-      ~pop:(fun () -> Dsd_util.Bucket_queue.pop_min queue)
-      ~retire
+    peel_store ?pool ~track_density ~n store
   in
   (core, order, kmax, bd, bs, residuals, mu_total)
 

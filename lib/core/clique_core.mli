@@ -36,19 +36,35 @@ type t = {
     skips the rho' bookkeeping (IncApp mode); the density fields are
     then 0.
 
-    [?pool] parallelises the generic engine across a shared domain
-    pool: instance enumeration always, and — when [track_density] is
-    off — the peel itself, frontier-synchronously (each level retires
-    the whole cascade of vertices at the minimum degree in batched
-    rounds, with the instance-retirement scan fanned out over the
-    pool).  Core numbers, [kmax] and [mu_total] are exactly the
-    sequential values for every pool size; the peel [order] is a valid
-    peel order but not the sequential tie-breaking, which is why the
-    density-tracking mode (whose result reads [order]) keeps the
-    sequential peel and parallelises only the enumeration. *)
+    The generic engine peels round-synchronously (bucket-free): each
+    level retires the whole cascade of vertices at the minimum degree
+    in batched sub-rounds, linearised in ascending vertex id, with
+    per-step residual densities recovered exactly from read-only
+    "owned instance" counts.  [?pool] fans the enumeration and the
+    per-round scans out across a shared domain pool; chunk boundaries
+    are fixed constants, so {e every} field of the result — core
+    numbers, peel order, residual-density transcript — is bit-identical
+    for every pool size, including no pool at all. *)
 val decompose :
   ?pool:Dsd_util.Pool.t ->
   ?track_density:bool -> Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> t
+
+(** The round-synchronous peel engine itself, over a prepared
+    {!Dsd_clique.Instance_store} on vertices [0 .. n-1].  Returns
+    [(core, order, kmax, best_density, best_start, residuals)] — the
+    density fields are 0 / empty unless [track_density].  [on_peel v
+    killed] fires once per vertex in canonical peel order, where
+    [killed] is v's live instance count at its (linearised) removal
+    step — exactly the degree Greedy++ charges to its loads.  The
+    store is consumed (all instances dead on return; [reset] it to
+    reuse). *)
+val peel_store :
+  ?pool:Dsd_util.Pool.t ->
+  ?on_peel:(int -> int -> unit) ->
+  track_density:bool ->
+  n:int ->
+  Dsd_clique.Instance_store.t ->
+  int array * int array * int * float * int * float array
 
 (** [core_vertices t ~k] is the vertex set of the (k, Psi)-core
     ({v | core(v) >= k}, possibly empty). *)

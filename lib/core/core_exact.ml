@@ -33,7 +33,7 @@ let run ?pool ?(warm = true) ?(prunings = all_prunings) ?(grouped = false)
   in
   let iterations = ref 0 in
   let network_nodes = ref [] in
-  let flow_span = Dsd_util.Timer.Span.create () in
+  let flow_s = ref 0. in
   (* ---- Step 1: (k, Psi)-core decomposition, tracking rho' ---- *)
   (* A caller-supplied decomposition (the serving layer's prepared-state
      cache) replaces the expensive step when it carries the density
@@ -59,7 +59,7 @@ let run ?pool ?(warm = true) ?(prunings = all_prunings) ?(grouped = false)
           network_nodes = List.rev !network_nodes;
           kmax;
           decompose_s;
-          flow_s = Dsd_util.Timer.Span.total_s flow_span;
+          flow_s = !flow_s;
           elapsed_s = Dsd_util.Timer.now_s () -. t0 } }
   in
   if decomp.Clique_core.mu_total = 0 then finish Density.empty
@@ -103,6 +103,36 @@ let run ?pool ?(warm = true) ?(prunings = all_prunings) ?(grouped = false)
       end
       else component_sets
     in
+    (* ---- Domain-striped per-component binary searches ----
+       Each component's probe sequence is self-contained: the lower
+       bound is frozen at the post-Pruning2 value l0, and Pruning-3
+       shrinks are keyed to the component-local l, so a component's
+       probe transcript depends only on the component — never on
+       scheduling.  A shared atomic carries the best exact witnessed
+       density so far; it is consulted ONLY for the strict
+       result-invariant skip [ub < best]: a component whose core-number
+       upper bound lies strictly below an already-witnessed density can
+       hold neither the maximiser nor a tie, whatever the schedule.
+       Candidates merge in component order with a strict [>], so the
+       returned subgraph is bit-identical for every pool size,
+       including no pool. *)
+    let l0 = !l in
+    let k0 = !k'' in
+    let comps = Array.of_list components in
+    let ncomps = Array.length comps in
+    let best_rho = Atomic.make !best.Density.density in
+    let publish rho =
+      let rec go () =
+        let cur = Atomic.get best_rho in
+        if rho > cur && not (Atomic.compare_and_set best_rho cur rho) then
+          go ()
+      in
+      go ()
+    in
+    (* slot = (candidate, probe count, network sizes in probe order,
+       flow seconds): stats always recorded, candidate only when the
+       component produced a witness. *)
+    let slots = Array.make ncomps (None, 0, [], 0.) in
     (* Restrict a component to vertices whose core number certifies
        membership in the ceil(l)-core. *)
     let shrink comp threshold =
@@ -111,34 +141,47 @@ let run ?pool ?(warm = true) ?(prunings = all_prunings) ?(grouped = false)
            (fun v -> decomp.Clique_core.core.(v) >= threshold)
            (Array.to_list comp))
     in
-    (* Per-component retargetable handle: the arena is built at the
-       first probe and only re-capacitated on later iterations.  A
-       Pruning-3 core shrink changes the vertex set, so the caller
-       resets the handle to [None] and the next probe rebuilds. *)
-    let solve_network ~prepared gc alpha ~instances =
-      incr iterations;
-      Dsd_obs.Counter.incr Dsd_obs.Counter.Core_iterations;
-      Dsd_util.Timer.Span.start flow_span;
-      let network =
-        match !prepared with
-        | Some p -> Flow_build.retarget ~warm p ~alpha
-        | None ->
-          let p = Flow_build.prepare ?pool family gc psi ~instances ~alpha in
-          prepared := Some p;
-          p.Flow_build.network
+    let process ?pool ci =
+      let iters = ref 0 in
+      let nodes = ref [] in
+      let span = Dsd_util.Timer.Span.create () in
+      (* Per-component retargetable handle: the arena is built at the
+         first probe and only re-capacitated on later iterations.  A
+         Pruning-3 core shrink changes the vertex set, so the caller
+         resets the handle to [None] and the next probe rebuilds. *)
+      let solve_network ~prepared gc alpha ~instances =
+        incr iters;
+        Dsd_obs.Counter.incr Dsd_obs.Counter.Core_iterations;
+        Dsd_util.Timer.Span.start span;
+        let network =
+          match !prepared with
+          | Some p -> Flow_build.retarget ~warm p ~alpha
+          | None ->
+            let p = Flow_build.prepare ?pool family gc psi ~instances ~alpha in
+            prepared := Some p;
+            p.Flow_build.network
+        in
+        nodes := network.node_count :: !nodes;
+        let s_side = Flow_build.solve network in
+        Dsd_util.Timer.Span.stop span;
+        s_side
       in
-      network_nodes := network.node_count :: !network_nodes;
-      let s_side = Flow_build.solve network in
-      Dsd_util.Timer.Span.stop flow_span;
-      s_side
-    in
-    let process comp =
+      let l = ref l0 in
       (* Line 6: if l has outgrown this core level, drop low-core
          vertices before doing any flow work. *)
       let comp =
-        if safe_ceil !l > !k'' then shrink comp (safe_ceil !l) else comp
+        if safe_ceil l0 > k0 then shrink comps.(ci) (safe_ceil l0)
+        else comps.(ci)
       in
-      if Array.length comp >= p then begin
+      (* Per-component upper bound: max core number inside. *)
+      let ub =
+        float_of_int
+          (Array.fold_left
+             (fun acc v -> max acc decomp.Clique_core.core.(v))
+             0 comp)
+      in
+      let cand = ref None in
+      if Array.length comp >= p && not (ub < Atomic.get best_rho) then begin
         let gc = ref (G.empty 0) in
         let map = ref [||] in
         let rebuild vs =
@@ -153,14 +196,7 @@ let run ?pool ?(warm = true) ?(prunings = all_prunings) ?(grouped = false)
         (* Feasibility probe at alpha = l (lines 7-9). *)
         let s0 = solve_network ~prepared !gc !l ~instances:!instances in
         if Array.length s0 > 0 then begin
-          (* Per-component upper bound: max core number inside. *)
-          let u =
-            ref
-              (float_of_int
-                 (Array.fold_left
-                    (fun acc v -> max acc decomp.Clique_core.core.(v))
-                    0 !comp))
-          in
+          let u = ref ub in
           let witness = ref (Array.map (fun v -> !map.(v)) s0) in
           let gap () =
             if prunings.p3 then Density.stop_gap (Array.length !comp)
@@ -168,7 +204,9 @@ let run ?pool ?(warm = true) ?(prunings = all_prunings) ?(grouped = false)
           in
           while !u -. !l >= gap () do
             let alpha = (!l +. !u) /. 2. in
-            let s_side = solve_network ~prepared !gc alpha ~instances:!instances in
+            let s_side =
+              solve_network ~prepared !gc alpha ~instances:!instances
+            in
             if Array.length s_side = 0 then u := alpha
             else begin
               witness := Array.map (fun v -> !map.(v)) s_side;
@@ -190,11 +228,36 @@ let run ?pool ?(warm = true) ?(prunings = all_prunings) ?(grouped = false)
               l := alpha
             end
           done;
-          let cand = Density.of_vertices g psi !witness in
-          if cand.density > !best.density then best := cand
+          let c = Density.of_vertices g psi !witness in
+          publish c.Density.density;
+          cand := Some c
         end
-      end
+      end;
+      slots.(ci) <-
+        (!cand, !iters, List.rev !nodes, Dsd_util.Timer.Span.total_s span)
     in
-    List.iter process components;
+    (match pool with
+     | Some pl when ncomps > 1 ->
+       (* One component per chunk, [eager] because a handful of
+          components each hide a full binary search of flow solves.
+          Component bodies run pool-free (pools don't nest). *)
+       Dsd_util.Pool.parallel_for pl ~eager:true ~chunk:1 ~n:ncomps
+         (fun lo hi ->
+           for ci = lo to hi - 1 do
+             process ci
+           done)
+     | _ ->
+       for ci = 0 to ncomps - 1 do
+         process ?pool ci
+       done);
+    Array.iter
+      (fun (cand, it, nds, fs) ->
+        iterations := !iterations + it;
+        List.iter (fun nc -> network_nodes := nc :: !network_nodes) nds;
+        flow_s := !flow_s +. fs;
+        match cand with
+        | Some c when c.Density.density > !best.Density.density -> best := c
+        | _ -> ())
+      slots;
     finish !best
   end

@@ -7,11 +7,11 @@ type result = {
   elapsed_s : float;
 }
 
-let run ?(rounds = 8) g psi =
+let run ?pool ?(rounds = 8) g psi =
   if rounds < 1 then invalid_arg "Greedy_pp.run: rounds must be >= 1";
   let t0 = Dsd_util.Timer.now_s () in
   let n = G.n g in
-  let instances = Enumerate.instances g psi in
+  let instances = Enumerate.instances ?pool g psi in
   let mu_total = Array.length instances in
   if mu_total = 0 || n = 0 then
     { subgraph = Density.empty;
@@ -23,45 +23,39 @@ let run ?(rounds = 8) g psi =
     let loads = Array.make n 0 in
     let best = ref Density.empty in
     let densities = Array.make rounds 0. in
+    (* Round 1 is PeelApp bit-for-bit: all loads are zero, so it IS the
+       canonical round-synchronous peel — run it on the shared engine
+       (pool-accelerated), charging each vertex's removal-time degree
+       to its load through the on_peel hook.  Later rounds order by
+       loads + degree, which no threshold peel can batch, so they keep
+       the sequential lazy heap (loads grow past any bucket bound). *)
+    let _, order0, _, bd0, bs0, _ =
+      Clique_core.peel_store ?pool
+        ~on_peel:(fun v killed -> loads.(v) <- loads.(v) + killed)
+        ~track_density:true ~n store
+    in
+    if bd0 > !best.Density.density then begin
+      let vs = Array.sub order0 bs0 (n - bs0) in
+      Array.sort compare vs;
+      best := { Density.vertices = vs; density = bd0 }
+    end;
+    densities.(0) <- !best.Density.density;
     let order = Array.make n 0 in
     (* Deduplicate co-member notifications per deletion (one final-key
        update per touched vertex, as in Clique_core's peel). *)
     let stamp = Array.make n (-1) in
     let touched = Dsd_util.Vec.Int.create () in
     let ops = ref 0 in
-    for round = 0 to rounds - 1 do
-      if round > 0 then Dsd_clique.Instance_store.reset store;
-      (* Round 1 is PeelApp bit-for-bit: all loads are zero, so keys
-         are plain degrees and the same bucket queue (same tie order)
-         as Clique_core's sequential peel applies.  Later rounds need
-         the lazy heap — loads grow past any bucket bound. *)
-      let pop, update, mem =
-        if round = 0 then begin
-          let max_deg = ref 1 in
-          for v = 0 to n - 1 do
-            let d = Dsd_clique.Instance_store.degree store v in
-            if d > !max_deg then max_deg := d
-          done;
-          let q = Dsd_util.Bucket_queue.create ~n ~max_key:!max_deg in
-          for v = 0 to n - 1 do
-            Dsd_util.Bucket_queue.add q ~item:v
-              ~key:(Dsd_clique.Instance_store.degree store v)
-          done;
-          ( (fun () -> Dsd_util.Bucket_queue.pop_min q),
-            (fun u key -> Dsd_util.Bucket_queue.update q ~item:u ~key),
-            fun u -> Dsd_util.Bucket_queue.mem q u )
-        end
-        else begin
-          let heap = Dsd_util.Lazy_heap.create ~n in
-          for v = 0 to n - 1 do
-            Dsd_util.Lazy_heap.add heap ~item:v
-              ~key:(loads.(v) + Dsd_clique.Instance_store.degree store v)
-          done;
-          ( (fun () -> Dsd_util.Lazy_heap.pop_min heap),
-            (fun u key -> Dsd_util.Lazy_heap.update heap ~item:u ~key),
-            fun u -> Dsd_util.Lazy_heap.mem heap u )
-        end
-      in
+    for round = 1 to rounds - 1 do
+      Dsd_clique.Instance_store.reset store;
+      let heap = Dsd_util.Lazy_heap.create ~n in
+      for v = 0 to n - 1 do
+        Dsd_util.Lazy_heap.add heap ~item:v
+          ~key:(loads.(v) + Dsd_clique.Instance_store.degree store v)
+      done;
+      let pop () = Dsd_util.Lazy_heap.pop_min heap in
+      let update u key = Dsd_util.Lazy_heap.update heap ~item:u ~key in
+      let mem u = Dsd_util.Lazy_heap.mem heap u in
       let mu_live = ref mu_total in
       let best_density = ref (float_of_int mu_total /. float_of_int n) in
       let best_start = ref 0 in

@@ -18,6 +18,10 @@ type result = {
   elapsed_s : float;
 }
 
-(** [run ?rounds g psi] (default 8 rounds). *)
+(** [run ?pool ?rounds g psi] (default 8 rounds).  [?pool] accelerates
+    enumeration and the first round (the canonical round-synchronous
+    peel, bit-identical to PeelApp for every pool size); later rounds'
+    load-ordered peels are inherently sequential. *)
 val run :
+  ?pool:Dsd_util.Pool.t ->
   ?rounds:int -> Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> result

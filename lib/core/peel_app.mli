@@ -12,9 +12,10 @@ type result = {
   elapsed_s : float;
 }
 
-(** [?pool] parallelises instance enumeration; the result is
-    bit-identical for every pool size (the peel itself stays
-    sequential: the returned suffix depends on the peel order). *)
+(** [?pool] parallelises instance enumeration and the round-synchronous
+    peel scans; the result — including the returned suffix, which
+    depends on the peel order — is bit-identical for every pool
+    size. *)
 val run :
   ?pool:Dsd_util.Pool.t ->
   Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> result

@@ -138,28 +138,68 @@ let round_pruned ?pool ~warm ~family ~decomp g gr ~map_r (psi : P.t) ~prev_rho
              (float_of_int bound, comp))
       |> List.stable_sort (fun (a, _) (b, _) -> compare b a)
     in
+    (* Striped strict-skip solves: one slot per component holds its
+       outcome; a shared atomic carries the best exact rho witnessed so
+       far.  A skipped component has bound < some witnessed rho <=
+       rho_star, so it can neither set rho_star nor tie it — the merged
+       union below is schedule-invariant.  (The probe/prune tallies are
+       not: they depend on how far the bound had advanced at each
+       check, which is why --stats runs pin --domains 1.) *)
+    let comps = Array.of_list comps in
+    let ncomps = Array.length comps in
+    let slots = Array.make ncomps `Pruned in
+    let best_rho = Atomic.make 0. in
+    let publish rho =
+      let rec go () =
+        let cur = Atomic.get best_rho in
+        if rho > cur && not (Atomic.compare_and_set best_rho cur rho) then
+          go ()
+      in
+      go ()
+    in
+    let process ?pool ci =
+      let bound, comp = comps.(ci) in
+      (* The skip is strict: a component tied with the best so far has
+         bound >= its own rho = best, so ties are always solved — the
+         canonical region is the union over ALL tied components. *)
+      if bound < Atomic.get best_rho then slots.(ci) <- `Pruned
+      else begin
+        let iters = ref 0 in
+        let r =
+          solve_part ?pool ~warm ~family g gr ~map_r psi ~verts:comp
+            ~u0:(Some (Float.min bound prev_rho))
+            ~iterations:iters
+        in
+        (match r with Some (rho, _) -> publish rho | None -> ());
+        slots.(ci) <- `Solved (r, !iters)
+      end
+    in
+    (match pool with
+     | Some pl when ncomps > 1 ->
+       (* One component per chunk, [eager]: a handful of components
+          each hide a full binary search of flow solves.  Component
+          bodies run pool-free (pools don't nest). *)
+       Dsd_util.Pool.parallel_for pl ~eager:true ~chunk:1 ~n:ncomps
+         (fun lo hi ->
+           for ci = lo to hi - 1 do
+             process ci
+           done)
+     | _ ->
+       for ci = 0 to ncomps - 1 do
+         process ?pool ci
+       done);
     let solved = ref [] in
-    let best = ref 0. in
-    List.iter
-      (fun (bound, comp) ->
-        (* The skip is strict: a component tied with the best so far has
-           bound >= its own rho = best, so ties are always solved — the
-           canonical region is the union over ALL tied components. *)
-        if bound < !best then begin
+    Array.iter
+      (function
+        | `Pruned ->
           incr pruned;
           Dsd_obs.Counter.incr Dsd_obs.Counter.Topk_components_pruned
-        end
-        else
-          match
-            solve_part ?pool ~warm ~family g gr ~map_r psi ~verts:comp
-              ~u0:(Some (Float.min bound prev_rho))
-              ~iterations
-          with
+        | `Solved (r, it) -> (
+          iterations := !iterations + it;
+          match r with
           | None -> ()
-          | Some (rho, region) ->
-            solved := (rho, region) :: !solved;
-            if rho > !best then best := rho)
-      comps;
+          | Some (rho, region) -> solved := (rho, region) :: !solved))
+      slots;
     match !solved with
     | [] -> None
     | solved ->

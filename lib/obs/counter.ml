@@ -22,6 +22,10 @@ type name =
   | Topk_rounds
   | Topk_components_pruned
   | Topk_regions
+  | Pool_jobs
+  | Pool_chunks
+  | Pool_chunks_lead
+  | Pool_workers_engaged
 
 let all =
   [ Flow_augmentations; Flow_level_builds; Peeled_vertices; Clique_instances;
@@ -30,7 +34,8 @@ let all =
     Serve_cache_evictions; Serve_protocol_errors; Delta_edges_added;
     Delta_edges_removed; Delta_core_repairs; Delta_instances_added;
     Delta_instances_retired; Delta_arena_rebuilds; Topk_rounds;
-    Topk_components_pruned; Topk_regions ]
+    Topk_components_pruned; Topk_regions; Pool_jobs; Pool_chunks;
+    Pool_chunks_lead; Pool_workers_engaged ]
 
 let index = function
   | Flow_augmentations -> 0
@@ -56,8 +61,12 @@ let index = function
   | Topk_rounds -> 20
   | Topk_components_pruned -> 21
   | Topk_regions -> 22
+  | Pool_jobs -> 23
+  | Pool_chunks -> 24
+  | Pool_chunks_lead -> 25
+  | Pool_workers_engaged -> 26
 
-let slots = 23
+let slots = 27
 
 let to_string = function
   | Flow_augmentations -> "flow_augmentations"
@@ -83,6 +92,10 @@ let to_string = function
   | Topk_rounds -> "topk_rounds"
   | Topk_components_pruned -> "topk_components_pruned"
   | Topk_regions -> "topk_regions"
+  | Pool_jobs -> "pool_jobs"
+  | Pool_chunks -> "pool_chunks"
+  | Pool_chunks_lead -> "pool_chunks_lead"
+  | Pool_workers_engaged -> "pool_workers_engaged"
 
 (* One atomic per counter: domains striping clique enumeration bump
    these concurrently.  Hot loops either read State.enabled first or
@@ -101,3 +114,17 @@ let get name = Atomic.get values.(index name)
 let reset () = Array.iter (fun a -> Atomic.set a 0) values
 
 let snapshot () = List.map (fun n -> (to_string n, get n)) all
+
+(* Pool utilization feed.  Dsd_obs depends on Dsd_util, so the pool
+   cannot call Counter directly; instead it reports each fanned-out
+   job's per-participant chunk claims through this hook.  Installed
+   here (not in Control) because Counter is transitively referenced by
+   every consumer of the library, so the linker can never drop this
+   module — and with it the registration — as dead code. *)
+let () =
+  Dsd_util.Pool.set_job_reporter (fun ~chunks ~claimed ->
+      incr Pool_jobs;
+      add Pool_chunks chunks;
+      add Pool_chunks_lead (Array.fold_left max 0 claimed);
+      add Pool_workers_engaged
+        (Array.fold_left (fun a c -> if c > 0 then a + 1 else a) 0 claimed))

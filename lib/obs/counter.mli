@@ -27,6 +27,10 @@ type name =
   | Topk_rounds           (** extraction rounds run by the top-k LDS solver *)
   | Topk_components_pruned (** candidate components skipped by the core bound *)
   | Topk_regions          (** disjoint locally-densest regions returned *)
+  | Pool_jobs             (** parallel fan-outs run by the domain pool *)
+  | Pool_chunks           (** work chunks dispatched across all pool jobs *)
+  | Pool_chunks_lead      (** chunks claimed by each job's busiest participant *)
+  | Pool_workers_engaged  (** participants that claimed >= 1 chunk, summed over jobs *)
 
 val all : name list
 val to_string : name -> string

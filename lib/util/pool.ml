@@ -4,11 +4,25 @@ type job = {
   n : int;
   chunk_len : int;
   nchunks : int;
+  eager : bool;
   next : int Atomic.t;
   body : int -> int -> unit;
   wrap : (unit -> unit) -> unit;
   failed : exn option Atomic.t;
+  (* claimed.(p) = chunks participant p executed (0 = caller, 1.. =
+     workers).  Each participant writes only its own slot, and the
+     caller reads after the drain barrier, so plain ints suffice. *)
+  claimed : int array;
 }
+
+(* Utilization hook: called once per completed job with the chunk
+   count and the per-participant claim tally.  [Dsd_obs] installs a
+   reporter that turns these into pool counters; the default is free.
+   The hook runs on the calling domain after the job drains. *)
+let job_reporter : (chunks:int -> claimed:int array -> unit) ref =
+  ref (fun ~chunks:_ ~claimed:_ -> ())
+
+let set_job_reporter f = job_reporter := f
 
 type t = {
   size : int;
@@ -34,24 +48,27 @@ type t = {
    Exceptions (from the body or from a broken [wrap]) are parked in
    [failed]; the job still drains so the chunk accounting stays
    simple, and the caller re-raises the first one. *)
-let participate job =
+let participate slot job =
   let claim () =
+    let mine = ref 0 in
     let continue_ = ref true in
     while !continue_ do
       let i = Atomic.fetch_and_add job.next 1 in
       if i >= job.nchunks then continue_ := false
       else begin
+        incr mine;
         let lo = i * job.chunk_len in
         let hi = min job.n (lo + job.chunk_len) in
         try job.body lo hi
         with e -> ignore (Atomic.compare_and_set job.failed None (Some e))
       end
-    done
+    done;
+    job.claimed.(slot) <- !mine
   in
   try job.wrap claim
   with e -> ignore (Atomic.compare_and_set job.failed None (Some e))
 
-let worker t =
+let worker t slot =
   let last = ref 0 in
   let running = ref true in
   while !running do
@@ -68,7 +85,7 @@ let worker t =
       last := t.generation;
       let job = Option.get t.job in
       Mutex.unlock t.m;
-      participate job;
+      participate slot job;
       Mutex.lock t.m;
       t.active <- t.active - 1;
       if t.active = 0 then Condition.broadcast t.drained;
@@ -107,7 +124,8 @@ let create ?(sequential_below = default_sequential_below) size =
 let ensure_workers t =
   if Array.length t.workers = 0 && t.size > 1 then
     t.workers <-
-      Array.init (t.size - 1) (fun _ -> Domain.spawn (fun () -> worker t))
+      Array.init (t.size - 1) (fun i ->
+          Domain.spawn (fun () -> worker t (i + 1)))
 
 let size t = t.size
 let sequential_below t = t.sequential_below
@@ -134,9 +152,14 @@ let run t job =
   if not t.alive then invalid_arg "Pool: used after shutdown";
   if not (Atomic.compare_and_set t.busy false true) then raise Nested;
   (* Small jobs run inline on the caller: chunk boundaries, merge order
-     and exception parking are untouched, only the workers stay asleep. *)
-  if t.size = 1 || job.n < t.sequential_below || job.nchunks <= 1 then
-    participate job
+     and exception parking are untouched, only the workers stay asleep.
+     [eager] jobs skip the threshold — few-item fan-outs whose per-item
+     work is huge (one flow subproblem per item) engage the workers no
+     matter how small [n] is. *)
+  if
+    t.size = 1 || job.nchunks <= 1
+    || (job.n < t.sequential_below && not job.eager)
+  then participate 0 job
   else begin
     ensure_workers t;
     Mutex.lock t.m;
@@ -145,7 +168,7 @@ let run t job =
     t.active <- t.size - 1;
     Condition.broadcast t.wake;
     Mutex.unlock t.m;
-    participate job;
+    participate 0 job;
     Mutex.lock t.m;
     while t.active > 0 do
       Condition.wait t.drained t.m
@@ -154,6 +177,7 @@ let run t job =
     Mutex.unlock t.m
   end;
   Atomic.set t.busy false;
+  !job_reporter ~chunks:job.nchunks ~claimed:job.claimed;
   match Atomic.get job.failed with Some e -> raise e | None -> ()
 
 let default_wrap f = f ()
@@ -165,38 +189,40 @@ let default_wrap f = f ()
    will fall back to the inline path gets size-1 chunking: splitting
    it per the pool width would multiply any per-chunk setup cost for
    workers that never see the job. *)
-let chunk_len_for t ?chunk n =
+let chunk_len_for t ?chunk ~eager n =
   match chunk with
   | Some c ->
     if c < 1 then invalid_arg "Pool: chunk must be >= 1";
     c
   | None ->
-    let width = if n < t.sequential_below then 1 else t.size in
+    let width = if n < t.sequential_below && not eager then 1 else t.size in
     max 1 (n / (8 * width))
 
-let parallel_for t ?chunk ?(wrap = default_wrap) ~n body =
+let parallel_for t ?chunk ?(eager = false) ?(wrap = default_wrap) ~n body =
   if n < 0 then invalid_arg "Pool.parallel_for: n must be >= 0";
   if n = 0 then ()
   else begin
-    let chunk_len = chunk_len_for t ?chunk n in
+    let chunk_len = chunk_len_for t ?chunk ~eager n in
     let nchunks = (n + chunk_len - 1) / chunk_len in
     run t
       {
         n;
         chunk_len;
         nchunks;
+        eager;
         next = Atomic.make 0;
         body;
         wrap;
         failed = Atomic.make None;
+        claimed = Array.make t.size 0;
       }
   end
 
-let map_chunks t ?chunk ?(wrap = default_wrap) ~n f =
+let map_chunks t ?chunk ?(eager = false) ?(wrap = default_wrap) ~n f =
   if n < 0 then invalid_arg "Pool.map_chunks: n must be >= 0";
   if n = 0 then [||]
   else begin
-    let chunk_len = chunk_len_for t ?chunk n in
+    let chunk_len = chunk_len_for t ?chunk ~eager n in
     let nchunks = (n + chunk_len - 1) / chunk_len in
     let slots = Array.make nchunks None in
     let body lo hi = slots.(lo / chunk_len) <- Some (f lo hi) in
@@ -205,10 +231,12 @@ let map_chunks t ?chunk ?(wrap = default_wrap) ~n f =
         n;
         chunk_len;
         nchunks;
+        eager;
         next = Atomic.make 0;
         body;
         wrap;
         failed = Atomic.make None;
+        claimed = Array.make t.size 0;
       };
     Array.map
       (function
@@ -217,5 +245,5 @@ let map_chunks t ?chunk ?(wrap = default_wrap) ~n f =
       slots
   end
 
-let fold_chunks t ?chunk ?wrap ~n ~init ~merge f =
-  Array.fold_left merge init (map_chunks t ?chunk ?wrap ~n f)
+let fold_chunks t ?chunk ?eager ?wrap ~n ~init ~merge f =
+  Array.fold_left merge init (map_chunks t ?chunk ?eager ?wrap ~n f)

@@ -1,10 +1,10 @@
 # Convenience targets; CI should run `make check`.
 
 .PHONY: all build test test-flow test-warmstart test-metamorphic test-serve \
-	test-incremental test-topk test-parallel-heavy fuzz-smoke \
-	fuzz-incremental fuzz-topk coverage fmt check bench-phases \
-	bench-retarget bench-warmstart bench-serve bench-incremental \
-	bench-topk bench-parallel clean
+	test-incremental test-topk test-hierarchy test-parallel-heavy \
+	fuzz-smoke fuzz-incremental fuzz-topk fuzz-hierarchy coverage fmt \
+	check bench-phases bench-retarget bench-warmstart bench-serve \
+	bench-incremental bench-topk bench-hierarchy bench-parallel clean
 
 all: build
 
@@ -51,6 +51,15 @@ test-incremental:
 test-topk:
 	dune exec test/test_main.exe -- test topk
 
+# The hierarchy suites on their own: the union-of-argmax oracle
+# differential (prepared/fresh/pool widths bit-identical), the
+# configuration bit-equality battery, the probe-count agreement check
+# and the sorted-prefix properties, plus the single-CDS LD suite the
+# decomposition shares its probe loop with.
+test-hierarchy:
+	dune exec test/test_main.exe -- test hierarchy
+	dune exec test/test_main.exe -- test ld-decomposition
+
 # The whole battery re-run with a 4-domain default pool: DSD_DOMAINS
 # governs every solver's default width, so the round-synchronous peel,
 # the striped component probes and the CLI goldens all execute against
@@ -87,6 +96,17 @@ fuzz-topk:
 	dune exec bin/dsd.exe -- fuzz --cases 150 --seed $(FUZZ_SEED) --time-budget 5 \
 		--relation top1-equals-cds
 
+# A focused burst on the hierarchy relations only: chain nesting with
+# slow-count marginal re-derivation, B_1 = the canonical CDS, and the
+# prepared/fresh/cold bit-equality of the probe loop.
+fuzz-hierarchy:
+	dune exec bin/dsd.exe -- fuzz --cases 150 --seed $(FUZZ_SEED) --time-budget 10 \
+		--relation hierarchy-nesting
+	dune exec bin/dsd.exe -- fuzz --cases 150 --seed $(FUZZ_SEED) --time-budget 10 \
+		--relation hierarchy-level1-equals-cds
+	dune exec bin/dsd.exe -- fuzz --cases 150 --seed $(FUZZ_SEED) --time-budget 10 \
+		--relation hierarchy-prepared-equals-fresh
+
 # Line coverage via bisect_ppx, skipped gracefully when the ppx is not
 # installed (the toolchain image does not bake it in, like ocamlformat).
 coverage:
@@ -118,15 +138,18 @@ check:
 	$(MAKE) test-serve
 	$(MAKE) test-incremental
 	$(MAKE) test-topk
+	$(MAKE) test-hierarchy
 	$(MAKE) fuzz-smoke
 	$(MAKE) fuzz-incremental
 	$(MAKE) fuzz-topk
-	dune exec bench/main.exe -- --only parallel,retarget,warmstart,serve,incremental,topk --smoke
+	$(MAKE) fuzz-hierarchy
+	dune exec bench/main.exe -- --only parallel,retarget,warmstart,serve,incremental,topk,hierarchy --smoke
 	dune exec bench/compare.exe -- BENCH_parallel.json
 	dune exec bench/compare.exe -- BENCH_warmstart.json
 	dune exec bench/compare.exe -- BENCH_serve.json
 	dune exec bench/compare.exe -- BENCH_incremental.json
 	dune exec bench/compare.exe -- BENCH_topk.json
+	dune exec bench/compare.exe -- BENCH_hierarchy.json
 
 # Per-phase observability breakdown (Dsd_obs spans/counters).
 bench-phases:
@@ -159,6 +182,13 @@ bench-incremental:
 bench-topk:
 	dune exec bench/main.exe -- --only topk
 	dune exec bench/compare.exe -- BENCH_topk.json
+
+# Prepared vs fresh-build density-friendly hierarchy (writes
+# BENCH_hierarchy.json), then the bit-identical-chain / B_1 = CDS and
+# never-slower gate.
+bench-hierarchy:
+	dune exec bench/main.exe -- --only hierarchy
+	dune exec bench/compare.exe -- BENCH_hierarchy.json
 
 # Domain-pool speedup sweep over the pooled phases (writes
 # BENCH_parallel.json), then the >= 2x at 4 domains gate — skipped

@@ -18,6 +18,11 @@
      be slower than it — core-based candidate restriction is only
      sound pruning if it never changes the answer, and only pruning
      if it never costs time.
+   - BENCH_hierarchy.json rows: the prepared/warm hierarchy must agree
+     bit-for-bit with the fresh-build escape hatch (and B_1 with the
+     canonical CDS; mismatches = 0) and must not be slower than it —
+     retargeting one prepared network per level is the optimisation,
+     so paying more than per-probe rebuilds would mean it failed.
    - BENCH_parallel.json rows: at 4 domains the pooled phases must run
      at least 2x faster than 1 domain (the striped CoreExact probes,
      which scale with component count, merely must not be slower).
@@ -163,6 +168,35 @@ let () =
               (if pruned > 0. then unpruned /. pruned else 0.)
         | _ -> (
         match
+          (float_field line "prepared_s", float_field line "fresh_s")
+        with
+        | Some prepared, Some fresh ->
+          incr rows;
+          let label =
+            Printf.sprintf "%s/%s/hierarchy"
+              (Option.value (str_field line "graph") ~default:"?")
+              (Option.value (str_field line "pattern") ~default:"?")
+          in
+          let mismatches =
+            Option.value (int_field line "mismatches") ~default:0
+          in
+          if mismatches > 0 then begin
+            incr bad;
+            Printf.printf "FAIL %-24s %d prepared/fresh/CDS mismatches\n"
+              label mismatches
+          end
+          else if prepared > fresh then begin
+            incr bad;
+            Printf.printf "FAIL %-24s prepared %.3fs > fresh %.3fs\n" label
+              prepared fresh
+          end
+          else
+            Printf.printf
+              "ok   %-24s prepared %8.3fs <= fresh %8.3fs  (%.1fx)\n" label
+              prepared fresh
+              (if prepared > 0. then fresh /. prepared else 0.)
+        | _ -> (
+        match
           ( float_field line "recompute_s",
             float_field line "incremental_s" )
         with
@@ -246,7 +280,7 @@ let () =
           end
           else
             Printf.printf "ok   %-32s cached %8.1fx faster\n" label speedup
-        | None -> ())))))
+        | None -> ()))))))
     (read_lines path);
   if !rows = 0 then begin
     Printf.eprintf "compare: no gateable rows in %s\n" path;

@@ -1567,6 +1567,119 @@ let topk () =
   close_out oc;
   print_endline "\nwrote BENCH_topk.json"
 
+(* Density-friendly hierarchy: prepared/warm probe loop vs the
+   fresh-build escape hatch, with iterated top-k extraction (one
+   canonical CDS per round — a coarser object than the hierarchy) as
+   the cost yardstick.  Both hierarchy modes run in the same forked
+   child and their chains are compared bit-for-bit; B_1 must equal the
+   canonical CDS region.  The JSON is gated by bench/compare.ml (zero
+   mismatches, prepared never slower than fresh). *)
+let hierarchy () =
+  let smoke = !H.smoke in
+  H.section
+    (Printf.sprintf "Density-friendly hierarchy — prepared vs fresh-build%s"
+       (if smoke then " [smoke]" else ""));
+  let cases =
+    if smoke then
+      [ ("planted_2k",
+         Dsd_data.Gen.planted_clique ~seed:5 ~n:2_000 ~p:0.005 ~clique:25,
+         "triangle", P.triangle) ]
+    else
+      [ ("planted_3k",
+         Dsd_data.Gen.planted_clique ~seed:5 ~n:3_000 ~p:0.004 ~clique:30,
+         "triangle", P.triangle);
+        ("planted_3k",
+         Dsd_data.Gen.planted_clique ~seed:5 ~n:3_000 ~p:0.004 ~clique:30,
+         "edge", P.edge);
+        ("planted_pair",
+         Dsd_data.Gen.disjoint_union
+           (Dsd_data.Gen.planted_clique ~seed:5 ~n:1_500 ~p:0.005 ~clique:30)
+           (Dsd_data.Gen.planted_clique ~seed:9 ~n:1_500 ~p:0.005 ~clique:20),
+         "triangle", P.triangle) ]
+  in
+  let json_rows = ref [] in
+  let rows =
+    List.map
+      (fun (gname, g, pname, psi) ->
+        let n = G.n g in
+        let cell =
+          H.run_cell ~timeout:(8. *. !H.default_timeout) (fun () ->
+              let module LD = Dsd_core.Ld_decomposition in
+              let dp, tp = H.timed (fun () -> LD.decompose g psi) in
+              let df, tf =
+                H.timed (fun () -> LD.decompose ~prepared:false g psi)
+              in
+              let t = List.length dp.LD.levels in
+              let tk, tc =
+                H.timed (fun () -> Dsd_core.Topk_lds.run ~k:t g psi)
+              in
+              let same_chain =
+                List.length dp.LD.levels = List.length df.LD.levels
+                && List.for_all2
+                     (fun (a : LD.level) (b : LD.level) ->
+                       Int64.bits_of_float a.marginal_density
+                       = Int64.bits_of_float b.marginal_density
+                       && a.vertices = b.vertices)
+                     dp.LD.levels df.LD.levels
+              in
+              let b1_is_cds =
+                match (dp.LD.levels, tk.Dsd_core.Topk_lds.regions) with
+                | b1 :: _, (r : D.subgraph) :: _ ->
+                  Int64.bits_of_float b1.LD.marginal_density
+                  = Int64.bits_of_float r.density
+                  && b1.LD.vertices = r.vertices
+                | _ -> false
+              in
+              let mismatches =
+                (if same_chain then 0 else 1)
+                + (if b1_is_cds then 0 else 1)
+                + if dp.LD.iterations = df.LD.iterations then 0 else 1
+              in
+              Printf.sprintf "%d %.6f %.6f %.6f %d %d %d" t tp tf tc
+                dp.LD.iterations df.LD.iterations mismatches)
+        in
+        match cell with
+        | H.Ok s ->
+          (match String.split_on_char ' ' (String.trim s) with
+           | [ lv; prepared_s; fresh_s; cds_s; pp; fp; mis ] ->
+             let ratio a b =
+               match (float_of_string_opt a, float_of_string_opt b) with
+               | Some a, Some b when b > 0. -> Printf.sprintf "%.2f" (a /. b)
+               | _ -> "null"
+             in
+             let speedup = ratio fresh_s prepared_s in
+             let vs_cds = ratio prepared_s cds_s in
+             json_rows :=
+               Printf.sprintf
+                 "    {\"graph\": \"%s\", \"pattern\": \"%s\", \"n\": %d, \
+                  \"levels\": %s, \"prepared_s\": %s, \"fresh_s\": %s, \
+                  \"topk_s\": %s, \"prepared_probes\": %s, \
+                  \"fresh_probes\": %s, \"speedup\": %s, \"vs_topk\": %s, \
+                  \"mismatches\": %s}"
+                 gname pname n lv prepared_s fresh_s cds_s pp fp speedup
+                 vs_cds mis
+               :: !json_rows;
+             [ gname; pname; lv; prepared_s ^ "s"; fresh_s ^ "s";
+               cds_s ^ "s"; speedup ^ "x"; mis ]
+           | _ -> [ gname; pname; String.trim s; "-"; "-"; "-"; "-"; "-" ])
+        | other ->
+          [ gname; pname; H.show_payload other; "-"; "-"; "-"; "-"; "-" ])
+      cases
+  in
+  H.table
+    ~header:
+      [ "graph"; "pattern"; "levels"; "prepared"; "fresh"; "topk";
+        "speedup"; "mismatch" ]
+    ~rows;
+  let oc = open_out "BENCH_hierarchy.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"hierarchy\",\n  \"smoke\": %b,\n  \"rows\": \
+     [\n%s\n  ]\n}\n"
+    smoke
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  print_endline "\nwrote BENCH_hierarchy.json"
+
 (* ---- registry ---- *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -1599,6 +1712,7 @@ let all : (string * string * (unit -> unit)) list =
     ("serve", "cold vs prepared vs cached request latency (BENCH_serve.json)", serve);
     ("incremental", "patch vs recompute on a sliding window (BENCH_incremental.json)", incremental);
     ("topk", "pruned vs unpruned top-k LDS extraction (BENCH_topk.json)", topk);
+    ("hierarchy", "prepared vs fresh density-friendly hierarchy (BENCH_hierarchy.json)", hierarchy);
     ("ext_truss", "extension: truss vs CDS", ext_truss);
     ("ext_sampled", "future work: sampled approximation", ext_sampled);
     ("ext_atleastk", "future work: densest-at-least-k", ext_atleastk);

@@ -376,6 +376,62 @@ let topk =
     C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ domains_arg
             $ k_arg $ no_prune_arg $ stats_arg $ trace_arg $ no_warm_arg)
 
+(* ---- hierarchy: the density-friendly decomposition ---- *)
+
+let hierarchy =
+  let levels_arg =
+    C.Arg.(value & opt int 0
+           & info [ "levels" ] ~docv:"N"
+               ~doc:"Print only the first $(docv) levels (0 = the whole \
+                     chain).  The full decomposition is computed either way.")
+  in
+  let fresh_build_arg =
+    C.Arg.(value & flag
+           & info [ "fresh-build" ]
+               ~doc:"Escape hatch: rebuild the flow network from scratch on \
+                     every probe instead of retargeting a per-level prepared \
+                     arena (same answer, more work).")
+  in
+  let run input dataset pattern domains levels fresh_build stats trace no_warm =
+    if levels < 0 then begin
+      prerr_endline "dsd: --levels must be >= 0";
+      exit 2
+    end;
+    let g = load_graph input dataset in
+    let psi = pattern_of_string pattern in
+    let d =
+      with_obs ~stats ~trace (fun () ->
+          with_domains domains (fun pool ->
+              Dsd_core.Ld_decomposition.decompose ~pool
+                ~prepared:(not fresh_build) ~warm:(not no_warm) g psi))
+    in
+    let all = d.Dsd_core.Ld_decomposition.levels in
+    Printf.printf "pattern    %s\n" psi.P.name;
+    Printf.printf "levels     %d\n" (List.length all);
+    Printf.printf "time       %.3fs (%d min-cuts)\n"
+      d.Dsd_core.Ld_decomposition.elapsed_s
+      d.Dsd_core.Ld_decomposition.iterations;
+    List.iteri
+      (fun i (lvl : Dsd_core.Ld_decomposition.level) ->
+        if levels = 0 || i < levels then begin
+          Printf.printf "level %d    marginal %.6f, %d vertices (prefix %d)\n"
+            (i + 1) lvl.marginal_density
+            (Array.length lvl.vertices)
+            lvl.prefix_size;
+          Array.iter (Printf.printf "%d ") lvl.vertices;
+          print_newline ()
+        end)
+      all
+  in
+  let run a b c d e f g h i = or_die (fun () -> run a b c d e f g h i) in
+  C.Cmd.v
+    (C.Cmd.info "hierarchy"
+       ~doc:"Density-friendly decomposition: the full chain of \
+             locally-densest prefixes (level 1 is the CDS).")
+    C.Term.(const run $ input_arg $ dataset_arg $ pattern_arg $ domains_arg
+            $ levels_arg $ fresh_build_arg $ stats_arg $ trace_arg
+            $ no_warm_arg)
+
 (* ---- watch: re-answer the CDS over an edge-delta stream ---- *)
 
 let watch =
@@ -725,8 +781,8 @@ let client =
            & info [] ~docv:"COMMAND"
                ~doc:"ping | stats | density GRAPH PSI [ALGO] | cds GRAPH PSI \
                      [ALGO] | decompose GRAPH PSI | query GRAPH PSI VERTEX... \
-                     | topk GRAPH PSI K | delta GRAPH +U,V... -U,V... \
-                     | shutdown")
+                     | topk GRAPH PSI K | hierarchy GRAPH PSI [LEVELS] \
+                     | delta GRAPH +U,V... -U,V... | shutdown")
   in
   let parse_vertices vs =
     List.map
@@ -756,6 +812,14 @@ let client =
       | Some k -> Dsd_serve.Protocol.Topk { graph; psi; k }
       | None ->
         Printf.eprintf "dsd client: bad k %s\n" k;
+        exit 2)
+    | [ "hierarchy"; graph; psi ] ->
+      Dsd_serve.Protocol.Hierarchy { graph; psi; levels = 0 }
+    | [ "hierarchy"; graph; psi; levels ] -> (
+      match int_of_string_opt levels with
+      | Some levels -> Dsd_serve.Protocol.Hierarchy { graph; psi; levels }
+      | None ->
+        Printf.eprintf "dsd client: bad level count %s\n" levels;
         exit 2)
     | "query" :: graph :: psi :: (_ :: _ as vs) ->
       Dsd_serve.Protocol.Query
@@ -815,6 +879,15 @@ let client =
           Array.iter (Printf.printf "%d ") vertices;
           print_newline ())
         regions
+    | Hierarchy_r { levels } ->
+      Printf.printf "levels     %d\n" (List.length levels);
+      List.iteri
+        (fun i (marginal, vertices) ->
+          Printf.printf "level %d    marginal %.6f, %d vertices\n" (i + 1)
+            marginal (Array.length vertices);
+          Array.iter (Printf.printf "%d ") vertices;
+          print_newline ())
+        levels
     | Apply_delta_r { n; m; added; removed } ->
       Printf.printf "graph      n=%d m=%d\n" n m;
       Printf.printf "applied    +%d -%d\n" added removed
@@ -892,5 +965,5 @@ let () =
   exit
     (C.Cmd.eval
        (C.Cmd.group info
-          [ generate; stats; decompose; cds; query; topk; watch; fuzz; truss;
-            patterns; snapshot; serve; client ]))
+          [ generate; stats; decompose; cds; query; topk; hierarchy; watch;
+            fuzz; truss; patterns; snapshot; serve; client ]))

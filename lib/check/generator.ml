@@ -150,8 +150,9 @@ let malformed_frame rng =
        (Printf.sprintf "\x01%c%s" (Char.chr (0x60 + Prng.int rng 0x1f)) body))
   | 6 ->
     (* correct version + tag, garbage body — every body-carrying
-       request tag, including apply-delta (0x08) and topk (0x09) *)
-    let tags = [| 0x03; 0x04; 0x05; 0x06; 0x08; 0x09 |] in
+       request tag, including apply-delta (0x08), topk (0x09) and
+       hierarchy (0x0a) *)
+    let tags = [| 0x03; 0x04; 0x05; 0x06; 0x08; 0x09; 0x0a |] in
     let body = random_bytes rng (1 + Prng.int rng 32) in
     ("garbage-body",
      frame_of ~len:(2 + String.length body)

@@ -96,6 +96,85 @@ let brute_force_topk ~k g psi =
   in
   go [] k
 
+(* Ground truth for Ld_decomposition: peel off maximal max-marginal
+   augmentations greedily.  Each round enumerates every non-empty
+   X ⊆ V \ B, ranks the marginal (mu(B ∪ X) - mu(B)) / |X| as an exact
+   int pair (cross-multiplied, never through floats), and augments B by
+   the union of all argmax X's — max-marginal augmentations are closed
+   under union (instance counts are supermodular), so the union is
+   itself an argmax and the canonical level set.  When the best
+   marginal is 0 the remaining vertices form one final zero level.
+   The reported floats are the same int divisions the library performs,
+   so agreement is bit-exact, not approximate. *)
+let brute_force_ld_decomposition g psi =
+  let n = G.n g in
+  assert (n <= 12);
+  let inst_masks =
+    let insts =
+      match psi.P.kind with
+      | P.Clique -> Dsd_clique.Naive.list g ~h:psi.P.size
+      | _ -> Dsd_pattern.Match.instances g psi
+    in
+    Array.map
+      (fun inst -> Array.fold_left (fun m v -> m lor (1 lsl v)) 0 inst)
+      insts
+  in
+  let mu_of mask =
+    Array.fold_left
+      (fun acc im -> if im land mask = im then acc + 1 else acc)
+      0 inst_masks
+  in
+  let members mask =
+    Array.of_list (List.filter (fun v -> mask land (1 lsl v) <> 0) (List.init n Fun.id))
+  in
+  let popcount mask =
+    let c = ref 0 in
+    for v = 0 to n - 1 do
+      if mask land (1 lsl v) <> 0 then incr c
+    done;
+    !c
+  in
+  let full = (1 lsl n) - 1 in
+  let b = ref 0 and mu_b = ref 0 in
+  let levels = ref [] in
+  let finished = ref (n = 0) in
+  while not !finished do
+    let comp = full land lnot !b in
+    (* best marginal so far as the exact rational bn / bd *)
+    let bn = ref 0 and bd = ref 1 in
+    let union = ref 0 in
+    let x = ref comp in
+    while !x <> 0 do
+      let dmu = mu_of (!b lor !x) - !mu_b in
+      let dcard = popcount !x in
+      let cmp = compare (dmu * !bd) (!bn * dcard) in
+      if cmp > 0 then begin
+        bn := dmu;
+        bd := dcard;
+        union := !x
+      end
+      else if cmp = 0 && dmu > 0 then union := !union lor !x;
+      x := (!x - 1) land comp
+    done;
+    if !bn = 0 then begin
+      (* no strictly positive marginal remains *)
+      if comp <> 0 then levels := (0., members comp) :: !levels;
+      finished := true
+    end
+    else begin
+      let s = !b lor !union in
+      let s_mu = mu_of s in
+      levels :=
+        ( float_of_int (s_mu - !mu_b) /. float_of_int (popcount !union),
+          members !union )
+        :: !levels;
+      b := s;
+      mu_b := s_mu;
+      if s = full then finished := true
+    end
+  done;
+  List.rev !levels
+
 (* Naive (k, Psi)-core: threshold peeling with full re-enumeration
    after every deletion. *)
 let survivors g psi k =

@@ -42,6 +42,20 @@ val brute_force_topk :
   k:int -> Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t ->
   (float * int array) list
 
+(** [brute_force_ld_decomposition g psi] is the ground-truth
+    density-friendly decomposition: greedily peel maximal max-marginal
+    augmentations, ranking marginals as exact int rationals and
+    augmenting by the union of all argmax sets (max-marginal
+    augmentations are closed under union, so the union is canonical).
+    Returns [(marginal, new vertices)] outermost first, each vertex
+    array sorted; the trailing level has marginal 0 and holds whatever
+    joins no instance.  The floats are the same int divisions
+    {!Dsd_core.Ld_decomposition} performs, so agreement is bit-exact.
+    Only for n <= 12 (asserted; each level enumerates all subsets of
+    the remaining vertices). *)
+val brute_force_ld_decomposition :
+  Dsd_graph.Graph.t -> Dsd_pattern.Pattern.t -> (float * int array) list
+
 (** [survivors g psi k] marks the vertices of the (k, Psi)-core by
     threshold peeling with full re-enumeration after every deletion. *)
 val survivors :

@@ -732,6 +732,149 @@ let parallel_peel_equivalence =
         | [] -> Pass
         | msgs -> Fail (String.concat "; " msgs)) }
 
+(* ---- density-friendly hierarchy ---- *)
+
+(* Structural laws of the decomposition chain (the former ad-hoc
+   test_ld checks, promoted so every generator exercises them): levels
+   partition V, each level block is sorted and duplicate-free, prefix
+   sizes accumulate exactly, marginal densities strictly decrease, and
+   every reported marginal is the slow-counted
+   (mu(B_i) - mu(B_{i-1})) / |X_i| of its own prefix — bit-identical,
+   since equal rationals divide to equal floats. *)
+let hierarchy_nesting =
+  let module LD = Dsd_core.Ld_decomposition in
+  { name = "hierarchy-nesting";
+    check =
+      (fun _subject ~rng:_ (c : Generator.case) ->
+        let d = LD.decompose c.graph c.psi in
+        let n = Dsd_graph.Graph.n c.graph in
+        let seen = Array.make (max 1 n) false in
+        let bad = ref [] in
+        let push fmt = Printf.ksprintf (fun s -> bad := s :: !bad) fmt in
+        let size = ref 0 in
+        let last_marginal = ref infinity in
+        let prev_mu = ref 0 in
+        List.iteri
+          (fun i (lvl : LD.level) ->
+            if Array.length lvl.vertices = 0 then push "level %d is empty" i;
+            Array.iter
+              (fun v ->
+                if v < 0 || v >= n then push "level %d: vertex %d out of range" i v
+                else if seen.(v) then push "vertex %d appears twice" v
+                else seen.(v) <- true)
+              lvl.vertices;
+            let sorted = Array.copy lvl.vertices in
+            Array.sort compare sorted;
+            if sorted <> lvl.vertices then push "level %d vertices unsorted" i;
+            size := !size + Array.length lvl.vertices;
+            if lvl.prefix_size <> !size then
+              push "level %d prefix_size %d, expected %d" i lvl.prefix_size
+                !size;
+            if lvl.marginal_density >= !last_marginal then
+              push "level %d marginal %.17g not below %.17g" i
+                lvl.marginal_density !last_marginal;
+            last_marginal := lvl.marginal_density;
+            let prefix = LD.prefix d (i + 1) in
+            let sub, _ = Dsd_graph.Graph.induced c.graph prefix in
+            let mu = Oracle.slow_count sub c.psi in
+            let expect =
+              float_of_int (mu - !prev_mu)
+              /. float_of_int (Array.length lvl.vertices)
+            in
+            prev_mu := mu;
+            if
+              Int64.bits_of_float lvl.marginal_density
+              <> Int64.bits_of_float expect
+            then
+              push "level %d marginal %.17g but slow count says %.17g" i
+                lvl.marginal_density expect)
+          d.LD.levels;
+        if !size <> n then push "levels cover %d of %d vertices" !size n;
+        match !bad with
+        | [] -> Pass
+        | msgs -> Fail (String.concat "; " (List.rev msgs))) }
+
+(* B_1 is the canonical maximal densest subgraph: its marginal is
+   bit-identical to Algorithm 1's rho_opt, and (when positive) its
+   vertex set is exactly the canonical region top-1 extraction
+   returns.  A zero first marginal is only legal when rho_opt is 0. *)
+let hierarchy_level1_equals_cds =
+  let module LD = Dsd_core.Ld_decomposition in
+  { name = "hierarchy-level1-equals-cds";
+    check =
+      (fun subject ~rng:_ (c : Generator.case) ->
+        let exact = subject.Subject.exact c.graph c.psi in
+        match (LD.decompose c.graph c.psi).LD.levels with
+        | [] ->
+          if Dsd_graph.Graph.n c.graph = 0 then Pass
+          else failf "no levels on a non-empty graph"
+        | (lvl : LD.level) :: _ ->
+          if
+            Int64.bits_of_float lvl.marginal_density
+            <> Int64.bits_of_float exact.density
+          then
+            failf "B_1 marginal %.17g <> Exact rho %.17g" lvl.marginal_density
+              exact.density
+          else if lvl.marginal_density = 0. then Pass
+          else (
+            match (Dsd_core.Topk_lds.run ~k:1 c.graph c.psi).regions with
+            | [ sg ] ->
+              if sg.vertices <> lvl.vertices then
+                failf "B_1 vertex set differs from the canonical CDS region"
+              else Pass
+            | regions ->
+              failf "top-1 extraction returned %d regions with rho > 0"
+                (List.length regions))) }
+
+(* The prepared/warm fast path must reproduce the fresh-build escape
+   hatch exactly — levels, marginals, prefixes, even the probe count,
+   since both paths pose the same alpha sequence and only differ in
+   build-vs-retarget. *)
+let hierarchy_prepared_equals_fresh =
+  let module LD = Dsd_core.Ld_decomposition in
+  { name = "hierarchy-prepared-equals-fresh";
+    check =
+      (fun _subject ~rng:_ (c : Generator.case) ->
+        let base = LD.decompose c.graph c.psi in
+        let same label (other : LD.t) =
+          if List.length other.LD.levels <> List.length base.LD.levels then
+            Some
+              (Printf.sprintf "%s: %d levels vs %d" label
+                 (List.length other.LD.levels)
+                 (List.length base.LD.levels))
+          else if other.LD.iterations <> base.LD.iterations then
+            Some
+              (Printf.sprintf "%s: %d probes vs %d" label other.LD.iterations
+                 base.LD.iterations)
+          else
+            List.find_map
+              (fun ((a : LD.level), (b : LD.level)) ->
+                if
+                  Int64.bits_of_float a.marginal_density
+                  <> Int64.bits_of_float b.marginal_density
+                then
+                  Some
+                    (Printf.sprintf "%s: marginal %.17g vs %.17g" label
+                       a.marginal_density b.marginal_density)
+                else if a.vertices <> b.vertices then
+                  Some (Printf.sprintf "%s: vertex sets differ" label)
+                else if a.prefix_size <> b.prefix_size then
+                  Some
+                    (Printf.sprintf "%s: prefix %d vs %d" label a.prefix_size
+                       b.prefix_size)
+                else None)
+              (List.combine other.LD.levels base.LD.levels)
+        in
+        let results =
+          List.filter_map
+            (fun (label, d) -> same label d)
+            [ ("fresh-build", LD.decompose ~prepared:false c.graph c.psi);
+              ("cold-flow", LD.decompose ~warm:false c.graph c.psi) ]
+        in
+        match results with
+        | [] -> Pass
+        | msgs -> Fail (String.concat "; " msgs)) }
+
 let all =
   [ theorem1_bounds;
     approx_ratio;
@@ -749,6 +892,9 @@ let all =
     topk_prefix_stability;
     top1_equals_cds;
     parallel_peel_equivalence;
+    hierarchy_nesting;
+    hierarchy_level1_equals_cds;
+    hierarchy_prepared_equals_fresh;
   ]
 
 let find name = List.find_opt (fun r -> r.name = name) all

@@ -34,7 +34,17 @@
                              the serve codec and the patched
                              incremental sessions answers bit-identically
                              to a from-scratch rebuild after every
-                             batch; failing scripts shrink and print *)
+                             batch; failing scripts shrink and print
+    - [hierarchy-nesting]    the density-friendly chain partitions V
+                             into sorted strictly-nested prefixes with
+                             strictly decreasing marginal densities,
+                             each marginal re-derived by slow counting
+    - [hierarchy-level1-equals-cds]  B_1's marginal is bit-identical to
+                             rho_opt and its vertex set is the
+                             canonical maximal CDS region
+    - [hierarchy-prepared-equals-fresh]  the prepared/warm hierarchy
+                             fast path equals the fresh-build and
+                             cold-flow escape hatches bit-for-bit *)
 
 type verdict =
   | Pass

@@ -30,6 +30,11 @@ let incremental = "incremental"
    underneath it. *)
 let topk = "topk"
 
+(* One span per density-friendly decomposition (all levels of one
+   {!Dsd_core.Ld_decomposition.decompose}); decompose/enumerate/
+   retarget/flow nest underneath it. *)
+let ld = "ld"
+
 (* The paper's Figure 8/Table 3 attribution buckets, in display
    order. *)
 let breakdown = [ decompose; enumerate; build_network; retarget; flow ]

@@ -92,6 +92,7 @@ let tag_query = 0x06
 let tag_shutdown = 0x07
 let tag_apply_delta = 0x08
 let tag_topk = 0x09
+let tag_hierarchy = 0x0a
 let tag_ok = 0x40
 let tag_error = 0x7f
 
@@ -158,6 +159,7 @@ type request =
       removes : (int * int) array;
     }
   | Topk of { graph : string; psi : string; k : int }
+  | Hierarchy of { graph : string; psi : string; levels : int }
   | Shutdown
 
 type response =
@@ -173,6 +175,7 @@ type response =
   | Query_r of { density : float; vertices : int array }
   | Apply_delta_r of { n : int; m : int; added : int; removed : int }
   | Topk_r of { regions : (float * int array) list }
+  | Hierarchy_r of { levels : (float * int array) list }
   | Shutdown_r
   | Error_r of string
 
@@ -223,6 +226,11 @@ let encode_request req =
       Enc.str b psi;
       Enc.int b k;
       tag_topk
+    | Hierarchy { graph; psi; levels } ->
+      Enc.str b graph;
+      Enc.str b psi;
+      Enc.int b levels;
+      tag_hierarchy
   in
   (tag, Enc.contents b)
 
@@ -262,6 +270,12 @@ let decode_request tag body =
       let k = Dec.int d in
       Topk { graph; psi; k }
     end
+    else if tag = tag_hierarchy then begin
+      let graph = Dec.str d in
+      let psi = Dec.str d in
+      let levels = Dec.int d in
+      Hierarchy { graph; psi; levels }
+    end
     else err "unknown request tag 0x%02x" tag
   in
   Dec.finish d;
@@ -278,6 +292,7 @@ let kind_query = 0x06
 let kind_shutdown = 0x07
 let kind_apply_delta = 0x08
 let kind_topk = 0x09
+let kind_hierarchy = 0x0a
 
 let encode_kv b (k, v) =
   Enc.str b k;
@@ -339,6 +354,13 @@ let encode_response resp =
           Enc.float b density;
           Enc.ints b vertices)
         regions
+    | Hierarchy_r { levels } ->
+      Enc.u8 b kind_hierarchy;
+      encode_list b
+        (fun b (marginal, vertices) ->
+          Enc.float b marginal;
+          Enc.ints b vertices)
+        levels
     | Shutdown_r -> Enc.u8 b kind_shutdown
     | Error_r _ -> assert false);
     (tag_ok, Enc.contents b)
@@ -388,6 +410,15 @@ let decode_response tag body =
         in
         Topk_r { regions }
       end
+      else if kind = kind_hierarchy then begin
+        let levels =
+          decode_list d (fun d ->
+              let marginal = Dec.float d in
+              let vertices = Dec.ints d in
+              (marginal, vertices))
+        in
+        Hierarchy_r { levels }
+      end
       else if kind = kind_shutdown then Shutdown_r
       else err "unknown response kind 0x%02x" kind
     end
@@ -401,7 +432,7 @@ let decode_response tag body =
 let request_key req =
   match req with
   | Ping | Stats | Shutdown | Apply_delta _ -> None
-  | Density _ | Cds _ | Decompose _ | Query _ | Topk _ ->
+  | Density _ | Cds _ | Decompose _ | Query _ | Topk _ | Hierarchy _ ->
     let tag, body = encode_request req in
     Some (Printf.sprintf "%d:%s" tag body)
 
@@ -417,7 +448,7 @@ let key_graph key =
     match int_of_string_opt (String.sub key 0 i) with
     | Some tag
       when tag = tag_density || tag = tag_cds || tag = tag_decompose
-           || tag = tag_query || tag = tag_topk -> (
+           || tag = tag_query || tag = tag_topk || tag = tag_hierarchy -> (
       let body = String.sub key (i + 1) (String.length key - i - 1) in
       try Some (Dec.str (Dec.of_string body)) with Error _ -> None)
     | _ -> None)

@@ -42,6 +42,10 @@ type request =
     }  (** mutate a served graph in place: inserts, then deletes *)
   | Topk of { graph : string; psi : string; k : int }
       (** the k disjoint locally densest regions ({!Dsd_core.Topk_lds}) *)
+  | Hierarchy of { graph : string; psi : string; levels : int }
+      (** the density-friendly decomposition
+          ({!Dsd_core.Ld_decomposition}); [levels = 0] returns the whole
+          chain, [levels > 0] only its first [levels] entries *)
   | Shutdown
 
 type response =
@@ -60,6 +64,9 @@ type response =
   | Topk_r of { regions : (float * int array) list }
       (** (density, vertices) in extraction order, densities
           non-increasing *)
+  | Hierarchy_r of { levels : (float * int array) list }
+      (** (marginal density, new vertices) outermost first, marginals
+          strictly decreasing *)
   | Shutdown_r
   | Error_r of string
 
@@ -90,8 +97,8 @@ val encode_response : response -> int * string
 val decode_response : int -> string -> response
 
 (** [request_key r] is a canonical cache key for the cacheable
-    requests ([Density]/[Cds]/[Decompose]/[Query]/[Topk]); [None] for the
-    control requests and the [Apply_delta] mutation. *)
+    requests ([Density]/[Cds]/[Decompose]/[Query]/[Topk]/[Hierarchy]);
+    [None] for the control requests and the [Apply_delta] mutation. *)
 val request_key : request -> string option
 
 (** [key_graph key] recovers the graph name a {!request_key} refers

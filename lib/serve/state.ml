@@ -14,6 +14,10 @@ type psi_state = {
   instances : int array array Lazy.t;
   decomp : Dsd_core.Clique_core.t Lazy.t;
   exact_prepared : Dsd_core.Flow_build.prepared option ref;
+  hierarchy : Dsd_core.Ld_decomposition.t Lazy.t;
+      (* the full chain, computed once; per-request level truncation
+         happens at response time (and in the result LRU, keyed by the
+         requested level count) *)
 }
 
 (* [g] is the current snapshot; [dyn] (created on the first delta) is
@@ -64,13 +68,19 @@ let psi_state t (gs : graph_state) (psi : P.t) =
   | None ->
     let pool = t.pool in
     let g = gs.g in
+    let decomp =
+      lazy (Dsd_core.Clique_core.decompose ?pool ~track_density:true g psi)
+    in
     let ps =
       { psi;
         graph = g;
         instances = lazy (Dsd_core.Enumerate.instances ?pool g psi);
-        decomp =
-          lazy (Dsd_core.Clique_core.decompose ?pool ~track_density:true g psi);
-        exact_prepared = ref None }
+        decomp;
+        exact_prepared = ref None;
+        hierarchy =
+          lazy
+            (Dsd_core.Ld_decomposition.decompose ?pool
+               ~decomp:(Lazy.force decomp) g psi) }
     in
     Hashtbl.add gs.psis key ps;
     ps
@@ -260,6 +270,26 @@ let compute t (req : Protocol.request) : Protocol.response =
                   (sg.density, sg.vertices))
                 r.Dsd_core.Topk_lds.regions }
       end)
+  | Hierarchy { graph; psi; levels } -> (
+    match lookup t ~graph ~psi with
+    | Error e -> e
+    | Ok { ps; _ } ->
+      if levels < 0 then errorf "hierarchy needs levels >= 0 (got %d)" levels
+      else begin
+        let d = Lazy.force ps.hierarchy in
+        let all =
+          List.map
+            (fun (lvl : Dsd_core.Ld_decomposition.level) ->
+              (lvl.marginal_density, lvl.vertices))
+            d.Dsd_core.Ld_decomposition.levels
+        in
+        let rec take k = function
+          | x :: rest when k > 0 -> x :: take (k - 1) rest
+          | _ -> []
+        in
+        Hierarchy_r
+          { levels = (if levels = 0 then all else take levels all) }
+      end)
 
 (* Only successful answers enter the LRU: errors are cheap to recompute
    and must not shadow a graph registered later under the same name. *)
@@ -300,7 +330,7 @@ let handle t (req : Protocol.request) : Protocol.response =
             (fun (name, g) ->
               Printf.sprintf "%s n=%d m=%d" name (G.n g) (G.m g))
             (graphs t) }
-  | Density _ | Cds _ | Decompose _ | Query _ | Topk _ ->
+  | Density _ | Cds _ | Decompose _ | Query _ | Topk _ | Hierarchy _ ->
     let key =
       match Protocol.request_key req with
       | Some k -> k

@@ -30,4 +30,5 @@ let () =
       ("serve", Test_serve.suite);
       ("incremental", Test_incremental.suite);
       ("topk", Test_topk.suite);
+      ("hierarchy", Test_hierarchy.suite);
     ]

@@ -442,7 +442,34 @@ let test_differential_corpus () =
                     if regions <> expected then
                       Alcotest.failf "%s: served regions differ from api"
                         label
-                  | _ -> Alcotest.failf "%s: wrong response kind" label))
+                  | _ -> Alcotest.failf "%s: wrong response kind" label);
+              let expected_all =
+                List.map
+                  (fun (lvl : Dsd_core.Ld_decomposition.level) ->
+                    (lvl.marginal_density, lvl.vertices))
+                  (Dsd_core.Ld_decomposition.decompose g psi)
+                    .Dsd_core.Ld_decomposition.levels
+              in
+              (* full chain and a truncated variant: distinct LRU keys *)
+              List.iter
+                (fun lv ->
+                  let expected =
+                    if lv = 0 then expected_all
+                    else List.filteri (fun i _ -> i < lv) expected_all
+                  in
+                  check_round
+                    (Printf.sprintf "hierarchy %s %s levels=%d" name
+                       psi.P.name lv)
+                    (Pr.Hierarchy
+                       { graph = name; psi = psi.P.name; levels = lv })
+                    (fun label resp ->
+                      match resp with
+                      | Pr.Hierarchy_r { levels } ->
+                        if levels <> expected then
+                          Alcotest.failf "%s: served levels differ from api"
+                            label
+                      | _ -> Alcotest.failf "%s: wrong response kind" label))
+                [ 0; 1 ])
             [ P.edge; P.triangle ])
         graphs;
       (* the warm half of every round must have come from the cache *)
@@ -571,6 +598,75 @@ let test_disconnect_mid_request () =
       Alcotest.(check bool) "server survives connect-then-close" true
         (alive addr))
 
+(* Targeted tag-0x0a (hierarchy) frame faults: a well-formed request
+   must answer, and truncated / oversized / lying-body variants of the
+   same frame must produce a structured error or a clean close, never a
+   hang or a crash. *)
+let test_hierarchy_frame_faults () =
+  let g = Helpers.random_graph ~seed:11 ~max_n:8 ~max_m:16 () in
+  with_server ~receive_timeout_s:0.4 [ ("g", g) ] (fun addr _state ->
+      let frame_of ~len payload =
+        let b = Bytes.create (4 + String.length payload) in
+        Bytes.set_int32_be b 0 (Int32.of_int len);
+        Bytes.blit_string payload 0 b 4 (String.length payload);
+        Bytes.to_string b
+      in
+      let tag, body =
+        Pr.encode_request (Pr.Hierarchy { graph = "g"; psi = "edge"; levels = 0 })
+      in
+      let payload = Printf.sprintf "\x01%c%s" (Char.chr tag) body in
+      (* sanity anchor: the well-formed frame gets a real answer *)
+      let fd = connect_raw addr in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          send_all fd (frame_of ~len:(String.length payload) payload);
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.;
+          match Pr.read_frame fd with
+          | Some (tag, body) -> (
+            match Pr.decode_response tag body with
+            | Pr.Hierarchy_r { levels } ->
+              Alcotest.(check bool) "well-formed 0x0a answers levels" true
+                (List.length levels > 0)
+            | _ -> Alcotest.fail "well-formed 0x0a: wrong response kind")
+          | None -> Alcotest.fail "well-formed 0x0a: connection closed");
+      let faults =
+        [ (* body cut short of its own declared frame length: the read
+             side times out waiting for bytes that never come *)
+          ( "truncated 0x0a body",
+            frame_of
+              ~len:(String.length payload)
+              (String.sub payload 0 (String.length payload - 5)) );
+          (* length prefix beyond max_frame: rejected before allocation *)
+          ("oversized 0x0a frame", frame_of ~len:(Pr.max_frame + 3) payload);
+          (* well-sized frame whose body lies about its string length *)
+          ( "corrupt 0x0a string length",
+            (* smash the graph string's 8-byte length prefix (body
+               starts after version + tag) so decode reads an absurd
+               string length against a tiny body *)
+            let b = Bytes.of_string payload in
+            Bytes.fill b 2 8 '\xff';
+            let smashed = Bytes.to_string b in
+            frame_of ~len:(String.length smashed) smashed );
+          (* trailing garbage after a complete body *)
+          ( "trailing bytes after 0x0a body",
+            let padded = payload ^ "\x00\x00" in
+            frame_of ~len:(String.length padded) padded ) ]
+      in
+      List.iter
+        (fun (label, bytes) ->
+          let fd = connect_raw addr in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              (try send_all fd bytes
+               with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> ());
+              expect_error_or_close ~label fd);
+          if not (alive addr) then
+            Alcotest.failf "%s: server no longer answers ping" label)
+        faults)
+
 let test_request_codec_roundtrip () =
   let reqs =
     [ Pr.Ping;
@@ -583,6 +679,8 @@ let test_request_codec_roundtrip () =
       Pr.Query { graph = "g"; psi = "edge"; vertices = [||] };
       Pr.Topk { graph = "g"; psi = "triangle"; k = 3 };
       Pr.Topk { graph = ""; psi = "edge"; k = -1 };
+      Pr.Hierarchy { graph = "g"; psi = "triangle"; levels = 2 };
+      Pr.Hierarchy { graph = ""; psi = "edge"; levels = 0 };
     ]
   in
   List.iter
@@ -603,6 +701,9 @@ let test_request_codec_roundtrip () =
       Pr.Topk_r { regions = [] };
       Pr.Topk_r
         { regions = [ (2.5, [| 0; 1; 2 |]); (0.1, [||]) ] };
+      Pr.Hierarchy_r { levels = [] };
+      Pr.Hierarchy_r
+        { levels = [ (2.5, [| 0; 1; 2 |]); (0., [| 7 |]) ] };
       Pr.Error_r "nope";
       Pr.Stats_r
         { counters = [ ("a", 1); ("b", 0) ];
@@ -636,6 +737,8 @@ let suite =
       test_differential_corpus;
     Alcotest.test_case "socket: tcp transport" `Quick test_tcp_transport;
     Alcotest.test_case "socket: malformed frames" `Quick test_fault_injection;
+    Alcotest.test_case "socket: hierarchy (0x0a) frame faults" `Quick
+      test_hierarchy_frame_faults;
     Alcotest.test_case "socket: mid-request disconnects" `Quick
       test_disconnect_mid_request;
   ]
